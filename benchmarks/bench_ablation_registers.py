@@ -1,0 +1,51 @@
+"""Ablation — multi-register unroll factor (Section 2.3.1 / 3.1.2).
+
+Sweeps the number of concurrently-used tile registers.  The FMOPA pipeline
+needs >= 4 independent accumulators for peak throughput (Figure 3a), so the
+kernel-level sweep should show a throughput cliff between 1-2 and 4 tiles
+and little gain beyond.
+"""
+
+from conftest import report, run_once
+
+from repro.bench.report import format_metric_table
+from repro.bench.runner import ExperimentRunner
+from repro.kernels.base import KernelOptions
+from repro.machine.config import LX2
+
+SHAPE = (128, 128)
+STENCIL = "box2d25p"
+UNROLLS = [1, 2, 4, 8]
+
+
+def _collect():
+    rows = {}
+    cycles = {}
+    for w in UNROLLS:
+        runner = ExperimentRunner(LX2(), KernelOptions(unroll_j=w))
+        pc = runner.measure("hstencil", STENCIL, SHAPE).counters
+        cycles[w] = pc.cycles
+        rows[f"unroll_j = {w}"] = {
+            "cycles/point": f"{pc.cycles_per_point:.2f}",
+            "IPC": f"{pc.ipc:.2f}",
+            "matrix flops/cyc": f"{pc.flops / pc.cycles:.0f}",
+        }
+    return rows, cycles
+
+
+def test_ablation_register_count(benchmark):
+    rows, cycles = run_once(benchmark, _collect)
+    report(
+        "ablation_registers",
+        format_metric_table(
+            "Ablation: tile-register unroll factor (r=2 box, 128x128)", rows
+        )
+        + "\n(expected: large gain 1->4 tiles, saturation beyond 4)",
+    )
+    # The multi-register requirement of Section 3.1.2:
+    assert cycles[4] < 0.55 * cycles[1], "4 tiles must be ~2x+ faster than 1"
+    assert cycles[2] < 0.8 * cycles[1]
+    # Beyond the pipeline depth, returns diminish.
+    gain_4_to_8 = cycles[4] / cycles[8]
+    gain_1_to_4 = cycles[1] / cycles[4]
+    assert gain_4_to_8 < 0.5 * gain_1_to_4

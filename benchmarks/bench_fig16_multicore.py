@@ -1,0 +1,65 @@
+"""Figure 16 — strong scaling, Box-2D9P at 8192^2, 1 to 32 cores.
+
+Paper: HStencil reaches 12.91 GStencil/s on 32 cores, above matrix-only
+(7.76) and vector-only (7.14).  Absolute GStencil/s depends on clock and
+bandwidth; the reproduced shape is the ordering and near-linear scaling
+with mild bandwidth saturation at high core counts.
+"""
+
+from conftest import report, run_once
+
+from repro.bench.report import format_scaling_series
+from repro.kernels.base import KernelOptions
+from repro.kernels.registry import make_kernel
+from repro.machine.config import LX2
+from repro.machine.memory import MemorySpace
+from repro.machine.multicore import MulticoreModel
+from repro.stencils.grid import Grid2D
+from repro.stencils.library import benchmark as stencil
+
+N = 8192
+CORES = [1, 2, 4, 8, 16, 32]
+METHODS = ["vector-only", "matrix-only", "hstencil-prefetch"]
+
+
+def _factory(method):
+    spec = stencil("box2d9p")
+
+    def make(rows):
+        mem = MemorySpace()
+        src = Grid2D(mem, rows, N, spec.radius, "A")
+        dst = Grid2D(mem, rows, N, spec.radius, "B")
+        return make_kernel(method, spec, src, dst, LX2(), KernelOptions())
+
+    return make
+
+
+def _collect():
+    mc = MulticoreModel(LX2())
+    series = {}
+    points = {}
+    for method in METHODS:
+        pts = mc.strong_scaling(_factory(method), N, CORES)
+        series[method] = [(p.cores, p.gstencil_per_s) for p in pts]
+        points[method] = pts
+    return series, points
+
+
+def test_fig16_strong_scaling(benchmark):
+    series, points = run_once(benchmark, _collect)
+    report(
+        "fig16_multicore",
+        format_scaling_series("Figure 16: Box-2D9P 8192^2 strong scaling", series)
+        + "\n(paper @32 cores: hstencil 12.91 > matrix 7.76 > vector 7.14 GS/s)",
+    )
+    at32 = {m: dict(series[m])[32] for m in METHODS}
+    # The Figure 16 ordering at full scale.
+    assert at32["hstencil-prefetch"] > at32["matrix-only"]
+    assert at32["matrix-only"] > at32["vector-only"]
+    # Scaling is monotone for every method.
+    for m in METHODS:
+        rates = [r for _c, r in series[m]]
+        assert all(b >= a * 0.99 for a, b in zip(rates, rates[1:])), m
+    # HStencil keeps >= 50% parallel efficiency at 32 cores.
+    h1 = dict(series["hstencil-prefetch"])[1]
+    assert at32["hstencil-prefetch"] > 0.5 * 32 * h1

@@ -1,0 +1,61 @@
+"""Table 3 — cache hit rates on out-of-cache stencils (vector vs matrix).
+
+Paper: the vector method's row streaming stays within the hardware
+prefetcher's stream table (96.7-99.5% L1 hits) while the matrix method's
+2-D tiled pattern degrades with grid size (66% -> 33%).
+
+Reproduction note (see EXPERIMENTS.md): on the simulated LX2 the
+vector/matrix *gap* reproduces at L1 (≈98% vs ≈75%), but the matrix
+method's size degradation appears one level down — its band-shaped
+working set (``(8+2r) rows x N``) outgrows the L2 between 4096^2 and
+8192^2, so the degrading column here is the L2 hit rate and the DRAM
+traffic per point, with the cycle-level consequence shown in Figure 15.
+"""
+
+from conftest import report, run_once
+
+from repro.bench.report import format_metric_table
+
+SIZES = [1024, 2048, 4096, 8192]
+STENCIL = "box2d25p"
+
+
+def _collect(runner):
+    rows = {}
+    stats = {}
+    for n in SIZES:
+        vec = runner.measure("vector-only", STENCIL, (n, n)).counters
+        mat = runner.measure("matrix-only", STENCIL, (n, n)).counters
+        mat_l2 = mat.l2_hits / mat.l2_accesses if mat.l2_accesses else 0.0
+        rows[f"{n} x {n}"] = {
+            "Vector L1": f"{vec.l1_demand_hit_rate * 100:.2f}%",
+            "Matrix L1": f"{mat.l1_demand_hit_rate * 100:.2f}%",
+            "Matrix L2": f"{mat_l2 * 100:.2f}%",
+            "Matrix DRAM B/pt": f"{mat.dram_bytes() / mat.points:.1f}",
+        }
+        stats[n] = (vec, mat, mat_l2)
+    return rows, stats
+
+
+def test_tab03_cache_hit_rates(benchmark, lx2_runner):
+    rows, stats = run_once(benchmark, lambda: _collect(lx2_runner))
+    report(
+        "tab03_cache_hit",
+        format_metric_table("Table 3: out-of-cache cache behaviour", rows)
+        + "\n(paper: vector L1 96.7-99.5% flat; matrix degrading 66% -> 33%."
+        "\n here: the L1 gap reproduces; the size degradation shows in the"
+        "\n matrix method's L2 rate / DRAM traffic — see EXPERIMENTS.md)",
+    )
+    for n in SIZES:
+        vec, mat, _ = stats[n]
+        # Vector streaming stays high at every size.
+        assert vec.l1_demand_hit_rate > 0.95, f"vector method at {n}"
+        # The matrix method is always distinctly below the vector method at
+        # L1 (the paper's gap is larger; see the reproduction note above).
+        assert mat.l1_demand_hit_rate < vec.l1_demand_hit_rate - 0.04, f"matrix at {n}"
+    # Size degradation: the matrix method's memory behaviour worsens with
+    # grid size (L2 reuse collapses, DRAM traffic per point rises ~25%).
+    _, mat_1k, l2_1k = stats[1024]
+    _, mat_8k, l2_8k = stats[8192]
+    assert l2_8k < l2_1k - 0.1
+    assert mat_8k.dram_bytes() / mat_8k.points > 1.15 * mat_1k.dram_bytes() / mat_1k.points

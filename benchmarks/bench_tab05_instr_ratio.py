@@ -1,0 +1,66 @@
+"""Table 5 — matrix / vector instruction-cycle ratio per method.
+
+Analytic per-8-row-tile cycle counts (the planning model of Section 3.2.1)
+plus counts measured from actual emitted blocks.  Paper: matrix star & box
+40/0; matrix-vector star 16/48; matrix-vector box 40/32.
+"""
+
+from conftest import report, run_once
+
+from repro.bench.report import format_metric_table
+from repro.core.analysis import instruction_cycle_ratio
+from repro.isa.instructions import PortClass
+from repro.kernels.base import KernelOptions
+from repro.kernels.registry import make_kernel
+from repro.machine.config import LX2
+from repro.machine.memory import MemorySpace
+from repro.stencils.grid import Grid2D
+from repro.stencils.spec import box2d, star2d
+
+
+def _measured_ratio(method: str, spec) -> tuple:
+    """Matrix/vector pipe cycles of one interior block, per 8-row tile."""
+    cfg = LX2()
+    mem = MemorySpace()
+    src = Grid2D(mem, 32, 32, spec.radius, "A")
+    dst = Grid2D(mem, 32, 32, spec.radius, "B")
+    kernel = make_kernel(method, spec, src, dst, cfg, KernelOptions(unroll_j=1))
+    block = kernel.loop_nest().blocks[len(kernel.loop_nest().blocks) // 2]
+    counts = kernel.emit(block).port_counts()
+    m = counts.get(PortClass.MATRIX, 0) / cfg.port_count(PortClass.MATRIX)
+    v = counts.get(PortClass.VECTOR, 0) / cfg.port_count(PortClass.VECTOR)
+    return m, v
+
+
+def _table5():
+    cfg = LX2()
+    star = star2d(2)
+    box = box2d(2)
+    rows = {}
+    for label, spec, method, paper in (
+        ("Matrix Star", star, "matrix-only", "40 / 0"),
+        ("Matrix Box", box, "matrix-only", "40 / 0"),
+        ("Matrix-Vector Star", star, "hstencil", "16 / 48"),
+        ("Matrix-Vector Box", box, "hstencil", "40 / 32"),
+    ):
+        am, av = instruction_cycle_ratio(spec, cfg, method)
+        mm, mv = _measured_ratio(method, spec)
+        rows[label] = {
+            "analytic (M/V)": f"{am:.0f} / {av:.0f}",
+            "measured (M/V)": f"{mm:.0f} / {mv:.0f}",
+            "paper (M/V)": paper,
+        }
+    return rows
+
+
+def test_tab05_instruction_ratio(benchmark):
+    rows = run_once(benchmark, _table5)
+    report("tab05_instr_ratio", format_metric_table("Table 5: matrix/vector cycles", rows))
+    # Shape assertions from the paper's table:
+    cfg = LX2()
+    m, v = instruction_cycle_ratio(star2d(2), cfg, "matrix-only")
+    assert (m, v) == (40.0, 0.0)
+    m, v = instruction_cycle_ratio(star2d(2), cfg, "hstencil")
+    assert v > m, "the star hybrid is vector-dominated before rollback"
+    m, v = instruction_cycle_ratio(box2d(2), cfg, "hstencil")
+    assert m > v > 0, "the box hybrid keeps matrix cycles dominant, EXT on vector"

@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Out-of-cache study: why spatial prefetch matters (mini Figure 15).
+
+Sweeps the r=2 box stencil from in-cache to far out-of-cache sizes and
+reports, for the hybrid kernel with and without Algorithm 3's spatial
+prefetch: cycles/point, demand L1 hit rate, and DRAM traffic.
+
+Usage: python examples/cache_behavior_study.py
+"""
+
+from repro import HStencil, LX2
+from repro.stencils import box2d
+
+
+def main() -> None:
+    spec = box2d(2)
+    cfg = LX2()
+    print(
+        f"machine: {cfg.name}  L1 {cfg.l1.size_bytes // 1024}KB / "
+        f"L2 {cfg.l2.size_bytes // 1024}KB / DRAM {cfg.mem_load_latency} cyc visible"
+    )
+    header = (
+        f"{'size':>12}  {'variant':>12}  {'cyc/pt':>7}  {'L1 demand':>9}  "
+        f"{'DRAM B/pt':>9}"
+    )
+    print(header)
+    print("-" * len(header))
+    for n in (256, 1024, 4096, 8192):
+        for method, label in (
+            ("hstencil-noprefetch", "no prefetch"),
+            ("hstencil-prefetch", "prefetch"),
+        ):
+            perf = HStencil(spec, method=method).benchmark(n, n)
+            print(
+                f"{n:>6} x {n:<5}  {label:>12}  {perf.cycles_per_point:7.2f}  "
+                f"{perf.l1_demand_hit_rate * 100:8.1f}%  "
+                f"{perf.dram_bytes() / perf.points:9.1f}"
+            )
+    print(
+        "\nTakeaway: without prefetch the 2-D tiled access pattern loses the\n"
+        "hardware prefetcher (Section 2.3.3) and stalls on DRAM as the grid\n"
+        "grows; Algorithm 3's explicit next-row/destination-row prefetch\n"
+        "restores the hit rate and flattens cycles/point."
+    )
+
+
+if __name__ == "__main__":
+    main()

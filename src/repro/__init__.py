@@ -1,0 +1,55 @@
+"""HStencil reproduction: matrix-vector stencil computation on a simulated
+scalable-matrix/vector CPU.
+
+Reproduces *HStencil: Matrix-Vector Stencil Computation with Interleaved
+Outer Product and MLA* (SC '25) in pure Python.  The paper's kernels are
+instruction-level; this package therefore ships a complete simulated
+machine (SME/SVE-like ISA, in-order multi-issue pipeline with scoreboard,
+two-level caches, hardware stream prefetcher, multicore bandwidth model)
+and expresses every evaluated method as a code generator whose emitted
+instruction streams are both functionally executed and cycle-timed.
+
+Quick start::
+
+    import numpy as np
+    from repro import HStencil
+    from repro.stencils import star2d
+
+    hs = HStencil(star2d(2))
+    field = np.random.default_rng(0).random((68, 68))  # 64x64 + halo 2
+    out = hs.apply(field)
+    perf = hs.benchmark(128, 128)
+    print(perf.summary())
+
+Packages: :mod:`repro.isa` (instruction set), :mod:`repro.machine`
+(engines/caches/multicore), :mod:`repro.stencils` (specs/grids/reference),
+:mod:`repro.kernels` (all methods + passes), :mod:`repro.core` (public
+API + analytic models), :mod:`repro.bench` (experiment harness).
+"""
+
+from repro.core.hstencil import HStencil, StencilResult
+from repro.core.iterate import StencilIterator
+from repro.core.temporal import TemporalBlockedIterator
+from repro.core.autotune import autotune_replacement
+from repro.kernels.base import KernelOptions
+from repro.kernels.registry import METHODS, make_kernel
+from repro.machine.config import LX2, M4, MachineConfig
+from repro.machine.perf import PerfCounters
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "HStencil",
+    "StencilIterator",
+    "TemporalBlockedIterator",
+    "StencilResult",
+    "KernelOptions",
+    "MachineConfig",
+    "LX2",
+    "M4",
+    "METHODS",
+    "make_kernel",
+    "PerfCounters",
+    "autotune_replacement",
+    "__version__",
+]

@@ -1,0 +1,27 @@
+"""Benchmark harness: experiment runners and paper-style reporting.
+
+The modules here are what the ``benchmarks/`` suite builds on:
+
+* :mod:`repro.bench.runner` — measure (method x stencil x size) cells with
+  shared machine/engine setup and per-cell caching;
+* :mod:`repro.bench.report` — render rows/series the way the paper's
+  tables and figures present them (speedups normalized to auto, IPC
+  tables, cache-metric tables, scaling curves).
+"""
+
+from repro.bench.runner import ExperimentRunner, Measurement
+from repro.bench.report import (
+    format_speedup_table,
+    format_metric_table,
+    format_scaling_series,
+    geomean,
+)
+
+__all__ = [
+    "ExperimentRunner",
+    "Measurement",
+    "format_speedup_table",
+    "format_metric_table",
+    "format_scaling_series",
+    "geomean",
+]

@@ -1,0 +1,84 @@
+"""Paper-style rendering of benchmark results."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Mapping, Sequence, Tuple
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean (the figures' 'average speedup')."""
+    vals = [v for v in values if v > 0]
+    if not vals:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def format_speedup_table(
+    title: str,
+    rows: Mapping[str, Mapping[str, float]],
+    baseline_note: str = "normalized to auto-vectorization",
+) -> str:
+    """Render {workload: {method: speedup}} as a fixed-width table."""
+    methods: List[str] = []
+    for cells in rows.values():
+        for m in cells:
+            if m not in methods:
+                methods.append(m)
+    w0 = max([len(k) for k in rows] + [8])
+    header = f"{'workload':<{w0}}  " + "  ".join(f"{m:>18}" for m in methods)
+    lines = [f"== {title} ({baseline_note}) ==", header, "-" * len(header)]
+    for name, cells in rows.items():
+        line = f"{name:<{w0}}  "
+        line += "  ".join(
+            f"{cells[m]:>17.2f}x" if m in cells else f"{'-':>18}" for m in methods
+        )
+        lines.append(line)
+    means = {
+        m: geomean([cells[m] for cells in rows.values() if m in cells]) for m in methods
+    }
+    line = f"{'geomean':<{w0}}  " + "  ".join(f"{means[m]:>17.2f}x" for m in methods)
+    lines.append("-" * len(header))
+    lines.append(line)
+    return "\n".join(lines)
+
+
+def format_metric_table(
+    title: str,
+    rows: Mapping[str, Mapping[str, str]],
+) -> str:
+    """Render {row: {column: formatted value}} as a fixed-width table."""
+    columns: List[str] = []
+    for cells in rows.values():
+        for c in cells:
+            if c not in columns:
+                columns.append(c)
+    w0 = max([len(k) for k in rows] + [8])
+    widths = {c: max(len(c), 14) for c in columns}
+    header = f"{'':<{w0}}  " + "  ".join(f"{c:>{widths[c]}}" for c in columns)
+    lines = [f"== {title} ==", header, "-" * len(header)]
+    for name, cells in rows.items():
+        line = f"{name:<{w0}}  " + "  ".join(
+            f"{cells.get(c, '-'):>{widths[c]}}" for c in columns
+        )
+        lines.append(line)
+    return "\n".join(lines)
+
+
+def format_scaling_series(
+    title: str,
+    series: Mapping[str, Sequence[Tuple[int, float]]],
+    unit: str = "GStencil/s",
+) -> str:
+    """Render {method: [(cores, value)]} as a scaling table."""
+    cores = sorted({c for pts in series.values() for c, _ in pts})
+    w0 = max([len(k) for k in series] + [8])
+    header = f"{'method':<{w0}}  " + "  ".join(f"{c:>10d}" for c in cores)
+    lines = [f"== {title} ({unit}) ==", header, "-" * len(header)]
+    for name, pts in series.items():
+        by_core = dict(pts)
+        line = f"{name:<{w0}}  " + "  ".join(
+            f"{by_core[c]:>10.2f}" if c in by_core else f"{'-':>10}" for c in cores
+        )
+        lines.append(line)
+    return "\n".join(lines)

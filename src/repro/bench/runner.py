@@ -1,0 +1,117 @@
+"""Experiment runner shared by the ``benchmarks/`` suite.
+
+One :class:`ExperimentRunner` owns a machine configuration and measures
+``(method, stencil, size)`` cells through the timing engine, caching
+results so a benchmark file can both print its paper-style table and
+register a pytest-benchmark timing without re-simulating.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.kernels.base import KernelOptions
+from repro.kernels.registry import make_kernel
+from repro.machine.config import LX2, MachineConfig
+from repro.machine.memory import MemorySpace
+from repro.machine.perf import PerfCounters
+from repro.machine.timing import SamplePlan, TimingEngine
+from repro.stencils.grid import Grid2D, Grid3D
+from repro.stencils.library import benchmark as stencil_benchmark
+from repro.stencils.spec import StencilSpec
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """One measured cell."""
+
+    method: str
+    stencil: str
+    shape: Tuple[int, ...]
+    counters: PerfCounters
+
+    @property
+    def cycles(self) -> float:
+        return self.counters.cycles
+
+    def speedup_over(self, baseline: "Measurement") -> float:
+        return baseline.cycles / self.cycles if self.cycles else 0.0
+
+
+class ExperimentRunner:
+    """Measures kernels on one machine, with caching."""
+
+    def __init__(
+        self,
+        machine: Optional[MachineConfig] = None,
+        options: Optional[KernelOptions] = None,
+    ) -> None:
+        self.machine = machine if machine is not None else LX2()
+        self.options = options or KernelOptions()
+        self.engine = TimingEngine(self.machine)
+        self._cache: Dict[Tuple, Measurement] = {}
+
+    # ------------------------------------------------------------------
+
+    def _build(self, method: str, spec: StencilSpec, shape: Tuple[int, ...]):
+        mem = MemorySpace()
+        r = spec.radius
+        if spec.ndim == 2:
+            rows, cols = shape
+            src = Grid2D(mem, rows, cols, r, "A")
+            dst = Grid2D(mem, rows, cols, r, "B")
+        else:
+            depth, rows, cols = shape
+            src = Grid3D(mem, depth, rows, cols, r, "A")
+            dst = Grid3D(mem, depth, rows, cols, r, "B")
+        return make_kernel(method, spec, src, dst, self.machine, self.options)
+
+    def measure(
+        self,
+        method: str,
+        stencil: str,
+        shape: Tuple[int, ...],
+        warm: bool = True,
+        plan: Optional[SamplePlan] = None,
+    ) -> Measurement:
+        """Measure one cell (cached)."""
+        key = (method, stencil, shape)
+        if key not in self._cache:
+            spec = stencil_benchmark(stencil)
+            kernel = self._build(method, spec, shape)
+            counters = self.engine.run(kernel, warm=warm, plan=plan)
+            counters.label = f"{method}/{stencil}/{shape}"
+            self._cache[key] = Measurement(method, stencil, shape, counters)
+        return self._cache[key]
+
+    def sweep(
+        self,
+        methods: Sequence[str],
+        stencil: str,
+        shape: Tuple[int, ...],
+        warm: bool = True,
+        plan: Optional[SamplePlan] = None,
+    ) -> Dict[str, Measurement]:
+        """Measure several methods on one workload; skips inapplicable ones."""
+        out: Dict[str, Measurement] = {}
+        for method in methods:
+            try:
+                out[method] = self.measure(method, stencil, shape, warm=warm, plan=plan)
+            except ValueError:
+                continue  # method not defined for this stencil/machine
+        return out
+
+    def speedups(
+        self,
+        methods: Sequence[str],
+        stencil: str,
+        shape: Tuple[int, ...],
+        baseline: str = "auto",
+        warm: bool = True,
+        plan: Optional[SamplePlan] = None,
+    ) -> Dict[str, float]:
+        """Speedups of ``methods`` over ``baseline`` on one workload."""
+        cells = self.sweep(list(methods) + [baseline], stencil, shape, warm=warm, plan=plan)
+        base = cells[baseline]
+        return {m: cells[m].speedup_over(base) for m in methods if m in cells}

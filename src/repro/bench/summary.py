@@ -1,0 +1,85 @@
+"""Aggregate the benchmark suite's result tables into one report.
+
+``python -m repro.bench.summary`` (or :func:`collect_summary`) reads every
+table the benches wrote to ``benchmarks/results/`` and assembles them in
+the paper's presentation order — a quick way to eyeball a full
+reproduction run without scrolling pytest output.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+from typing import Dict, List, Optional
+
+#: Presentation order (the paper's evaluation order, then ablations).
+ORDER: List[str] = [
+    "fig03_ilp",
+    "tab01_utilization",
+    "tab02_ipc",
+    "tab03_cache_hit",
+    "tab05_instr_ratio",
+    "fig12_incache",
+    "fig13_breakdown",
+    "fig14_ipc",
+    "fig15_outofcache",
+    "tab07_prefetch_cache",
+    "fig16_multicore",
+    "fig17_m4_incache",
+    "fig18_m4_outofcache",
+    "ablation_registers",
+    "ablation_replacement",
+    "ablation_hwprefetch",
+    "ablation_temporal",
+]
+
+
+def default_results_dir() -> pathlib.Path:
+    """`benchmarks/results/` relative to the repository root."""
+    return pathlib.Path(__file__).resolve().parents[3] / "benchmarks" / "results"
+
+
+def load_tables(results_dir: Optional[pathlib.Path] = None) -> Dict[str, str]:
+    """Read every ``<name>.txt`` table from the results directory."""
+    results_dir = results_dir or default_results_dir()
+    if not results_dir.is_dir():
+        return {}
+    return {p.stem: p.read_text().rstrip() for p in sorted(results_dir.glob("*.txt"))}
+
+
+def collect_summary(results_dir: Optional[pathlib.Path] = None) -> str:
+    """One report with every available table, in presentation order."""
+    tables = load_tables(results_dir)
+    if not tables:
+        return (
+            "no benchmark results found — run `pytest benchmarks/ "
+            "--benchmark-only` first"
+        )
+    parts: List[str] = [
+        "HStencil reproduction — collected benchmark tables",
+        "=" * 56,
+    ]
+    emitted = set()
+    for name in ORDER:
+        if name in tables:
+            parts.append("")
+            parts.append(tables[name])
+            emitted.add(name)
+    for name, text in tables.items():  # anything new/unknown goes last
+        if name not in emitted:
+            parts.append("")
+            parts.append(text)
+    missing = [n for n in ORDER if n not in tables]
+    if missing:
+        parts.append("")
+        parts.append(f"(not yet generated: {', '.join(missing)})")
+    return "\n".join(parts)
+
+
+def main() -> int:
+    print(collect_summary())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

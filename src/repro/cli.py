@@ -1,0 +1,242 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+``methods``
+    List the registered kernel methods and machine presets.
+``bench``
+    Time one method on one workload and print the counters.
+``compare``
+    Time several methods on one workload, normalized to a baseline.
+``listing``
+    Print the assembly listing of one kernel block.
+``verify``
+    Run a method functionally and check it against the NumPy reference.
+``scaling``
+    Strong-scaling sweep (the Figure 16 experiment, configurable).
+
+Examples::
+
+    python -m repro compare --stencil box2d25p --size 128x128
+    python -m repro bench --method hstencil-prefetch --stencil box2d25p \
+        --size 2048x2048 --machine lx2
+    python -m repro listing --stencil star2d5p --method hstencil
+    python -m repro verify --stencil star3d7p --size 4x16x32
+    python -m repro scaling --cores 1,2,4,8 --size 1024
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.bench.runner import ExperimentRunner
+from repro.core.hstencil import HStencil
+from repro.kernels.base import KernelOptions
+from repro.kernels.registry import METHODS, make_kernel
+from repro.machine.config import LX2, M4, MachineConfig
+from repro.machine.memory import MemorySpace
+from repro.machine.multicore import MulticoreModel
+from repro.stencils.grid import Grid2D
+from repro.stencils.library import BENCHMARKS, benchmark
+
+
+def _machine(name: str) -> MachineConfig:
+    name = name.lower()
+    if name == "lx2":
+        return LX2()
+    if name == "m4":
+        return M4()
+    raise SystemExit(f"unknown machine {name!r} (use lx2 or m4)")
+
+
+def _shape(text: str, ndim: int) -> Tuple[int, ...]:
+    parts = tuple(int(p) for p in text.lower().split("x"))
+    if len(parts) == 1:
+        parts = parts * ndim
+    if len(parts) != ndim:
+        raise SystemExit(f"size {text!r} does not match a {ndim}D stencil")
+    return parts
+
+
+def _options(args) -> KernelOptions:
+    opts = KernelOptions()
+    if getattr(args, "unroll", None):
+        opts = opts.with_(unroll_j=args.unroll)
+    return opts
+
+
+def cmd_methods(_args) -> int:
+    print("methods:")
+    for name in METHODS:
+        print(f"  {name}")
+    print("\nstencils:")
+    for name in BENCHMARKS:
+        spec = benchmark(name)
+        print(f"  {name:12s} {spec.pattern:4s} {spec.ndim}D r={spec.radius}")
+    print("\nmachines: lx2, m4")
+    return 0
+
+
+def cmd_bench(args) -> int:
+    spec = benchmark(args.stencil)
+    shape = _shape(args.size, spec.ndim)
+    runner = ExperimentRunner(_machine(args.machine), _options(args))
+    pc = runner.measure(args.method, args.stencil, shape).counters
+    print(pc.summary())
+    print(
+        f"  IPC {pc.ipc:.2f} | {pc.cycles_per_point:.3f} cyc/pt | "
+        f"L1 demand {pc.l1_demand_hit_rate * 100:.1f}% | "
+        f"DRAM {pc.dram_bytes() / max(pc.points, 1):.1f} B/pt | "
+        f"{pc.gstencil_per_s(runner.machine.clock_ghz):.2f} GStencil/s"
+    )
+    return 0
+
+
+def cmd_compare(args) -> int:
+    spec = benchmark(args.stencil)
+    shape = _shape(args.size, spec.ndim)
+    runner = ExperimentRunner(_machine(args.machine), _options(args))
+    methods = args.methods.split(",") if args.methods else [
+        "auto",
+        "vector-only",
+        "matrix-only",
+        "hstencil",
+    ]
+    base = runner.measure(args.baseline, args.stencil, shape)
+    print(f"{args.stencil} {args.size} on {args.machine.upper()}, vs {args.baseline}:")
+    for method in methods:
+        try:
+            cell = runner.measure(method, args.stencil, shape)
+        except (ValueError, KeyError) as exc:
+            print(f"  {method:20s} skipped ({exc})")
+            continue
+        print(
+            f"  {method:20s} {cell.speedup_over(base):5.2f}x  "
+            f"(IPC {cell.counters.ipc:4.2f}, "
+            f"{cell.counters.cycles_per_point:5.2f} cyc/pt)"
+        )
+    return 0
+
+
+def cmd_listing(args) -> int:
+    spec = benchmark(args.stencil)
+    shape = _shape(args.size, spec.ndim)
+    hs = HStencil(spec, _machine(args.machine), args.method, _options(args))
+    print(hs.listing(*shape, block_index=args.block))
+    return 0
+
+
+def cmd_verify(args) -> int:
+    from repro.machine.functional import FunctionalEngine
+    from repro.stencils.grid import Grid3D
+    from repro.stencils.reference import apply_reference
+
+    spec = benchmark(args.stencil)
+    shape = _shape(args.size, spec.ndim)
+    mem = MemorySpace()
+    r = spec.radius
+    if spec.ndim == 2:
+        src = Grid2D(mem, *shape, r, "A", fill="random", seed=args.seed)
+        dst = Grid2D(mem, *shape, r, "B")
+    else:
+        src = Grid3D(mem, *shape, r, "A", fill="random", seed=args.seed)
+        dst = Grid3D(mem, *shape, r, "B")
+    kernel = make_kernel(args.method, spec, src, dst, _machine(args.machine), _options(args))
+    engine = FunctionalEngine(mem)
+    engine.run_kernel(kernel)
+    got = dst.get_interior()
+    ref = apply_reference(src.get_full(), spec)
+    scale = max(float(np.max(np.abs(ref))), 1e-30)
+    err = float(np.max(np.abs(got - ref))) / scale
+    status = "OK" if err < 1e-11 else "MISMATCH"
+    print(
+        f"{status}: {args.method} on {args.stencil} {args.size} — "
+        f"max relative error {err:.3e} "
+        f"({engine.instructions_executed} instructions executed)"
+    )
+    return 0 if err < 1e-11 else 1
+
+
+def cmd_scaling(args) -> int:
+    spec = benchmark(args.stencil)
+    if spec.ndim != 2:
+        raise SystemExit("scaling supports 2D stencils")
+    n = int(args.size)
+    machine = _machine(args.machine)
+    cores = [int(c) for c in args.cores.split(",")]
+
+    def factory(rows: int):
+        mem = MemorySpace()
+        src = Grid2D(mem, rows, n, spec.radius, "A")
+        dst = Grid2D(mem, rows, n, spec.radius, "B")
+        return make_kernel(args.method, spec, src, dst, machine, _options(args))
+
+    mc = MulticoreModel(machine)
+    points = mc.strong_scaling(factory, n, cores)
+    print(f"{args.method} on {args.stencil} {n}x{n} ({machine.name}):")
+    for p in points:
+        note = " (bandwidth-bound)" if p.bandwidth_bound else ""
+        print(f"  {p.cores:3d} cores: {p.gstencil_per_s:7.2f} GStencil/s{note}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="HStencil reproduction command line"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("methods", help="list methods, stencils and machines")
+
+    def common(p, default_size="128x128"):
+        p.add_argument("--stencil", default="star2d9p", help="stencil name")
+        p.add_argument("--size", default=default_size, help="interior size, e.g. 128x128")
+        p.add_argument("--machine", default="lx2", help="lx2 or m4")
+        p.add_argument("--unroll", type=int, default=None, help="tile unroll factor")
+
+    p = sub.add_parser("bench", help="time one method")
+    common(p)
+    p.add_argument("--method", default="hstencil")
+
+    p = sub.add_parser("compare", help="compare methods vs a baseline")
+    common(p)
+    p.add_argument("--methods", default=None, help="comma-separated method list")
+    p.add_argument("--baseline", default="auto")
+
+    p = sub.add_parser("listing", help="print one block's assembly")
+    common(p, default_size="32x32")
+    p.add_argument("--method", default="hstencil")
+    p.add_argument("--block", type=int, default=0)
+
+    p = sub.add_parser("verify", help="functional check vs NumPy reference")
+    common(p, default_size="16x32")
+    p.add_argument("--method", default="hstencil")
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("scaling", help="strong-scaling sweep (Figure 16)")
+    common(p, default_size="1024")
+    p.add_argument("--method", default="hstencil-prefetch")
+    p.add_argument("--cores", default="1,2,4,8")
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handler = {
+        "methods": cmd_methods,
+        "bench": cmd_bench,
+        "compare": cmd_compare,
+        "listing": cmd_listing,
+        "verify": cmd_verify,
+        "scaling": cmd_scaling,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,39 @@
+"""HStencil public API.
+
+:class:`~repro.core.hstencil.HStencil` is the user-facing entry point: it
+compiles a stencil specification into kernels for a chosen machine, runs
+them functionally (returning NumPy results verified against the reference
+in the test suite) and times them on the simulated machine.
+
+:mod:`repro.core.analysis` holds the closed-form models of the paper's
+analysis sections: single-register matrix-unit utilization (Table 1),
+matrix/vector cycle ratios (Table 5) and the overhead equations (5)-(8).
+
+:mod:`repro.core.autotune` sweeps the replacement-plan knobs against the
+timing model, the automated analogue of the paper's hand balancing.
+"""
+
+from repro.core.hstencil import HStencil, StencilResult
+from repro.core.analysis import (
+    single_register_utilization,
+    utilization_table,
+    instruction_cycle_ratio,
+    overhead_model,
+    OverheadModel,
+)
+from repro.core.autotune import autotune_replacement
+from repro.core.iterate import StencilIterator
+from repro.core.temporal import TemporalBlockedIterator
+
+__all__ = [
+    "HStencil",
+    "StencilIterator",
+    "TemporalBlockedIterator",
+    "StencilResult",
+    "single_register_utilization",
+    "utilization_table",
+    "instruction_cycle_ratio",
+    "overhead_model",
+    "OverheadModel",
+    "autotune_replacement",
+]

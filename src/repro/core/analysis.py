@@ -1,0 +1,147 @@
+"""Closed-form models from the paper's analysis sections.
+
+These are *analytic* counterparts to the measured numbers: Table 1's
+single-register matrix-unit utilization, Table 5's matrix/vector cycle
+ratios, and the computation/memory overhead equations (5)-(8) of Section
+3.1.1.  The benches print both the analytic value and the simulator's
+measured counterpart so drift between model and machine is visible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.isa.registers import SVL_LANES
+from repro.machine.config import MachineConfig
+from repro.stencils.spec import StencilSpec
+
+
+def single_register_utilization(spec: StencilSpec, method: str) -> float:
+    """Fraction of a single FMOPA tile's MACs that are useful (Table 1).
+
+    ``method``:
+
+    * ``"outer"`` — outer-axis outer products (STOP): one FMOPA per
+      horizontal shift per input row; each burns a full 8x8 tile but only
+      the rows with nonzero sliding coefficients contribute.  Dense box
+      columns keep ``(2r+1)/8`` of the rows; a star's off-axis shifts keep
+      a single row, which is what collapses star utilization.
+    * ``"outer+inner"`` — the Mat-ortho split: vertical column outer-axis
+      plus horizontal row inner-axis; both operands are dense columns/rows
+      so utilization recovers to the box level.
+
+    Interior placements only (the steady-state value; edge placements are
+    grid-size dependent and vanish for large grids).
+    """
+    r = spec.radius
+    plane = spec.coeffs2d
+    if method == "outer":
+        useful = 0
+        total = 0
+        for s in spec.nonzero_shifts(0):
+            col = spec.column(s)
+            useful += SVL_LANES * int(np.count_nonzero(col))
+            total += SVL_LANES * SVL_LANES
+        return useful / total if total else 0.0
+    if method == "outer+inner":
+        if spec.pattern != "star":
+            raise ValueError("the outer+inner split is defined for star stencils")
+        vcol = spec.vertical_coeffs()
+        hrow = spec.horizontal_offaxis_coeffs()
+        useful = SVL_LANES * int(np.count_nonzero(vcol))
+        total = SVL_LANES * SVL_LANES
+        useful += SVL_LANES * int(np.count_nonzero(hrow))
+        total += SVL_LANES * SVL_LANES
+        return useful / total
+    raise ValueError(f"unknown method {method!r} (use 'outer' or 'outer+inner')")
+
+
+def utilization_table(radius: int = 2) -> Dict[str, float]:
+    """Reproduce Table 1's three rows for a given radius."""
+    from repro.stencils.spec import box2d, star2d
+
+    box = box2d(radius)
+    star = star2d(radius)
+    return {
+        "Outer-axis (Box)": single_register_utilization(box, "outer"),
+        "Outer-axis (Star)": single_register_utilization(star, "outer"),
+        "Outer&inner-axis (Star)": single_register_utilization(star, "outer+inner"),
+    }
+
+
+def instruction_cycle_ratio(
+    spec: StencilSpec,
+    config: MachineConfig,
+    method: str,
+    unroll_j: int = 4,
+) -> Tuple[float, float]:
+    """Analytic (matrix_cycles, vector_cycles) per 8-row tile (Table 5).
+
+    ``method`` is ``"matrix-only"`` or ``"hstencil"``.  Counts are per
+    interior 8-row block of one tile column, divided by pipe counts, so
+    they are directly comparable to Table 5's cycle pairs.
+    """
+    from repro.isa.instructions import PortClass
+
+    v_pipes = max(config.port_count(PortClass.VECTOR), 1)
+    m_pipes = max(config.port_count(PortClass.MATRIX), 1)
+    n_shifts = len(spec.nonzero_shifts(0))
+    if method == "matrix-only":
+        matrix_ops = SVL_LANES * n_shifts  # one FMOPA per shift per input row
+        vector_ops = 0.0
+    elif method == "hstencil":
+        if spec.pattern == "star":
+            h_taps = int(np.count_nonzero(spec.horizontal_offaxis_coeffs()))
+            matrix_ops = SVL_LANES * (1 + 1)  # vertical + in-place accumulate
+            vector_ops = SVL_LANES * (h_taps + h_taps)  # shifts (EXT) + MLAs
+        else:
+            matrix_ops = SVL_LANES * n_shifts
+            vector_ops = SVL_LANES * (n_shifts - 1)  # EXT data reuse
+    else:
+        raise ValueError(f"unknown method {method!r}")
+    return matrix_ops / m_pipes, vector_ops / v_pipes
+
+
+@dataclass(frozen=True)
+class OverheadModel:
+    """Equations (5)-(8): per-row overheads of naive vs in-place kernels."""
+
+    naive_compute_overhead: float
+    inplace_compute_overhead: float
+    naive_memory_ops: Tuple[int, int]  # (loads, stores) per row
+    inplace_memory_ops: Tuple[int, int]
+    naive_memory_cycles: float
+    inplace_memory_cycles: float
+
+
+def overhead_model(config: MachineConfig) -> OverheadModel:
+    """Instantiate the Section 3.1.1 overhead equations for a machine.
+
+    The naive method pays a slice-to-vector transfer + add per row
+    (dominated by MOVA, 2x the FMOPA initiation interval) plus the
+    3-load/2-store memory round trip of Equation (7); the in-place method
+    pays one outer product (Equation 6) and 2 loads + 1 store (Equation 8).
+    """
+    from repro.isa.instructions import FADD_V, FMOPA, MOVA_TILE_TO_VEC, ST1D
+
+    mova = config.latencies[MOVA_TILE_TO_VEC.mnemonic]
+    fadd = config.latencies[FADD_V.mnemonic]
+    fmopa = config.latencies[FMOPA.mnemonic]
+    ld = config.l1_load_latency
+    st = config.latencies[ST1D.mnemonic].latency
+
+    naive_compute = mova.latency + fadd.latency
+    inplace_compute = fmopa.latency
+    naive_mem = (3, 2)
+    inplace_mem = (2, 1)
+    return OverheadModel(
+        naive_compute_overhead=float(naive_compute),
+        inplace_compute_overhead=float(inplace_compute),
+        naive_memory_ops=naive_mem,
+        inplace_memory_ops=inplace_mem,
+        naive_memory_cycles=3.0 * ld + 2.0 * st,
+        inplace_memory_cycles=2.0 * ld + 1.0 * st,
+    )

@@ -1,0 +1,73 @@
+"""Empirical tuning of the replacement knobs (Section 3.2.1, automated).
+
+``plan_replacement`` picks the MLA-rollback / EXT->load split with a port-
+count model; that model ignores dependence-chain latency, which the timing
+engine does charge.  ``autotune_replacement`` closes the loop: it sweeps
+the two knobs on a small proxy grid through the real timing engine and
+returns the options that minimize measured cycles — the automated
+counterpart of the paper's hand balancing.  Results are cached per
+(stencil, machine, base options).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.kernels.base import KernelOptions
+from repro.kernels.registry import make_kernel
+from repro.machine.config import MachineConfig
+from repro.machine.memory import MemorySpace
+from repro.machine.timing import TimingEngine
+from repro.stencils.grid import Grid2D
+from repro.stencils.spec import StencilSpec
+
+_CACHE: Dict[Tuple, KernelOptions] = {}
+
+
+def autotune_replacement(
+    spec: StencilSpec,
+    machine: MachineConfig,
+    base: Optional[KernelOptions] = None,
+    proxy_rows: int = 32,
+    method: str = "hstencil",
+) -> KernelOptions:
+    """Return ``base`` updated with the best (mla_rollback, ext_to_load).
+
+    Only meaningful for 2D star stencils (the knobs do nothing elsewhere);
+    other specs are returned unchanged.  The proxy grid is small enough
+    that the sweep costs a few hundred milliseconds per configuration.
+    """
+    base = base or KernelOptions()
+    if spec.pattern != "star" or spec.ndim != 2:
+        return base
+    key = (spec.name, machine.name, method, base)
+    if key in _CACHE:
+        return _CACHE[key]
+
+    n_taps = int(np.count_nonzero(spec.horizontal_offaxis_coeffs()))
+    cols = 8 * base.unroll_j * 2
+    engine = TimingEngine(machine)
+    best: Optional[Tuple[float, int, int]] = None
+    for rb in range(n_taps + 1):
+        for el in range(n_taps + 1):
+            options = base.with_(mla_rollback=rb, ext_to_load=el)
+            mem = MemorySpace()
+            src = Grid2D(mem, proxy_rows, cols, spec.radius, "A")
+            dst = Grid2D(mem, proxy_rows, cols, spec.radius, "B")
+            try:
+                kernel = make_kernel(method, spec, src, dst, machine, options)
+            except ValueError:
+                continue
+            cycles = engine.run(kernel, warm=True).cycles
+            cand = (cycles, rb, el)
+            if best is None or cand < best:
+                best = cand
+    if best is None:
+        _CACHE[key] = base
+        return base
+    _, rb, el = best
+    tuned = base.with_(mla_rollback=rb, ext_to_load=el)
+    _CACHE[key] = tuned
+    return tuned

@@ -1,0 +1,160 @@
+"""HStencil: the user-facing framework API.
+
+Typical use::
+
+    import numpy as np
+    from repro import HStencil
+    from repro.stencils import star2d
+
+    hs = HStencil(star2d(2))              # LX2 machine, full optimizations
+    field = np.random.default_rng(0).random((104, 132))   # incl. halo
+    result = hs.apply(field)              # NumPy in, NumPy out
+    perf = hs.benchmark(256, 256)         # simulated-machine counters
+
+``apply`` runs the compiled kernel *functionally* on the simulated machine
+(every FMOPA/FMLA/EXT actually executes), so the returned array is the
+kernel's real output, not a NumPy shortcut; the test suite checks it
+against :func:`repro.stencils.reference.apply_reference`.
+
+``benchmark`` runs the timing engine (band-sampled for large grids) and
+returns :class:`~repro.machine.perf.PerfCounters`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.isa.program import Kernel
+from repro.kernels.base import KernelOptions
+from repro.kernels.registry import make_kernel
+from repro.machine.config import LX2, MachineConfig
+from repro.machine.functional import FunctionalEngine
+from repro.machine.memory import MemorySpace
+from repro.machine.perf import PerfCounters
+from repro.machine.timing import SamplePlan, TimingEngine
+from repro.stencils.grid import Grid2D, Grid3D
+from repro.stencils.spec import StencilSpec
+
+
+@dataclass
+class StencilResult:
+    """Output of :meth:`HStencil.apply_verbose`."""
+
+    values: np.ndarray
+    kernel_name: str
+    instructions_executed: int
+
+
+class HStencil:
+    """Compile and run one stencil on one simulated machine.
+
+    Parameters
+    ----------
+    spec:
+        The stencil operator.
+    machine:
+        Machine configuration (default: the LX2 preset).  On machines
+        without vector-FMLA capability (the M4 preset) star stencils are
+        automatically routed to the M-MLA kernel (Section 4).
+    method:
+        Kernel method name from :data:`repro.kernels.registry.METHODS`
+        (default ``"hstencil"`` — scheduling on, prefetch off, the
+        in-cache configuration; use ``"hstencil-prefetch"`` for
+        out-of-cache grids).
+    options:
+        Extra kernel options (unroll factor, replacement overrides, ...).
+    """
+
+    def __init__(
+        self,
+        spec: StencilSpec,
+        machine: Optional[MachineConfig] = None,
+        method: str = "hstencil",
+        options: Optional[KernelOptions] = None,
+    ) -> None:
+        self.spec = spec
+        self.machine = machine if machine is not None else LX2()
+        self.method = method
+        self.options = options or KernelOptions()
+
+    # ------------------------------------------------------------------
+
+    def _grids(self, mem: MemorySpace, shape: Tuple[int, ...]):
+        r = self.spec.radius
+        if self.spec.ndim == 2:
+            rows, cols = shape
+            src = Grid2D(mem, rows, cols, r, "A")
+            dst = Grid2D(mem, rows, cols, r, "B")
+        else:
+            depth, rows, cols = shape
+            src = Grid3D(mem, depth, rows, cols, r, "A")
+            dst = Grid3D(mem, depth, rows, cols, r, "B")
+        return src, dst
+
+    def compile(self, shape: Tuple[int, ...], mem: Optional[MemorySpace] = None):
+        """Build (kernel, src_grid, dst_grid) for an interior shape."""
+        mem = mem if mem is not None else MemorySpace()
+        src, dst = self._grids(mem, shape)
+        kernel = make_kernel(self.method, self.spec, src, dst, self.machine, self.options)
+        return kernel, src, dst
+
+    # ------------------------------------------------------------------
+
+    def apply(self, field: np.ndarray) -> np.ndarray:
+        """Apply the stencil to a halo-padded array; return the interior.
+
+        ``field`` must include the halo: shape ``(rows + 2r, cols + 2r)``
+        for 2D (or ``(depth + 2r, rows + 2r, cols + 2r)`` for 3D).
+        """
+        return self.apply_verbose(field).values
+
+    def apply_verbose(self, field: np.ndarray) -> StencilResult:
+        """Like :meth:`apply` but with execution metadata."""
+        r = self.spec.radius
+        field = np.asarray(field, dtype=np.float64)
+        if field.ndim != self.spec.ndim:
+            raise ValueError(
+                f"{self.spec.name} needs a {self.spec.ndim}D array, got {field.ndim}D"
+            )
+        interior = tuple(s - 2 * r for s in field.shape)
+        if any(s <= 0 for s in interior):
+            raise ValueError(f"array {field.shape} too small for halo {r}")
+        mem = MemorySpace()
+        kernel, src, dst = self.compile(interior, mem)
+        src.set_full(field)
+        engine = FunctionalEngine(mem)
+        engine.run_kernel(kernel)
+        return StencilResult(
+            values=dst.get_interior(),
+            kernel_name=kernel.name,
+            instructions_executed=engine.instructions_executed,
+        )
+
+    # ------------------------------------------------------------------
+
+    def benchmark(
+        self,
+        *shape: int,
+        warm: bool = True,
+        plan: Optional[SamplePlan] = None,
+    ) -> PerfCounters:
+        """Time the kernel on an interior grid of ``shape``."""
+        kernel, _src, _dst = self.compile(tuple(shape))
+        engine = TimingEngine(self.machine)
+        counters = engine.run(kernel, warm=warm, plan=plan)
+        counters.label = f"{self.method}/{self.spec.name}"
+        return counters
+
+    def listing(self, *shape: int, block_index: int = 0) -> str:
+        """Assembly listing of one block (kernel inspection)."""
+        from repro.isa.asm import format_trace
+
+        kernel, _src, _dst = self.compile(tuple(shape))
+        nest = kernel.loop_nest()
+        block = nest.blocks[block_index]
+        text = format_trace(kernel.preamble(), numbered=False)
+        body = format_trace(kernel.emit(block), numbered=True)
+        return f"// preamble\n{text}\n// block {block.key}\n{body}"

@@ -1,0 +1,93 @@
+"""Instruction-set model of a scalable matrix/vector CPU (SME/SVE-like).
+
+This package defines the architectural state and instruction set of the
+simulated machine used throughout the reproduction:
+
+* :mod:`repro.isa.registers` — vector registers (``z0..z31``), predicate-like
+  lane masks, and two-dimensional matrix tile registers (``za0..za7``), plus
+  the register-file containers used by the functional engine.
+* :mod:`repro.isa.instructions` — the instruction dataclasses.  Each
+  instruction knows its destination/source registers, the execution-port
+  class it occupies, and how to render itself as assembly text.
+* :mod:`repro.isa.asm` — assembly formatting and a round-trip parser, used by
+  tests and by the kernel-inspection example.
+* :mod:`repro.isa.program` — containers for straight-line instruction traces
+  and structured kernels (loop nests of trace-emitting blocks).
+
+The ISA is deliberately small: it contains exactly the instructions the
+HStencil paper's kernels are built from (loads/stores in horizontal and
+strided/vertical forms, vector ``FMLA``/``FADD``/``EXT``/``DUP``, matrix
+``FMOPA``/``MOVA``/``ZERO``, software prefetch ``PRFM``, and the Apple-M4
+matrix-MLA ``FMLA_M``), with FP64 as the only element type.
+"""
+
+from repro.isa.registers import (
+    SVL_LANES,
+    NUM_VREGS,
+    NUM_TILES,
+    VReg,
+    TileReg,
+    RegisterFile,
+)
+from repro.isa.instructions import (
+    Instruction,
+    PortClass,
+    LD1D,
+    LD1D_STRIDED,
+    ST1D,
+    ST1D_SLICE,
+    SET_LANES,
+    FMLA,
+    FMLA_IDX,
+    FMUL_IDX,
+    FADD_V,
+    EXT,
+    DUP,
+    FMOPA,
+    MOVA_TILE_TO_VEC,
+    MOVA_VEC_TO_TILE,
+    ZERO_TILE,
+    PRFM,
+    FMLA_M,
+    SCALAR_OP,
+)
+from repro.isa.asm import format_instruction, format_trace, parse_instruction, parse_trace
+from repro.isa.program import Trace, LoopNest, Kernel, KernelBlock, concat_traces
+
+__all__ = [
+    "ST1D_SLICE",
+    "SET_LANES",
+    "concat_traces",
+    "SVL_LANES",
+    "NUM_VREGS",
+    "NUM_TILES",
+    "VReg",
+    "TileReg",
+    "RegisterFile",
+    "Instruction",
+    "PortClass",
+    "LD1D",
+    "LD1D_STRIDED",
+    "ST1D",
+    "FMLA",
+    "FMLA_IDX",
+    "FMUL_IDX",
+    "FADD_V",
+    "EXT",
+    "DUP",
+    "FMOPA",
+    "MOVA_TILE_TO_VEC",
+    "MOVA_VEC_TO_TILE",
+    "ZERO_TILE",
+    "PRFM",
+    "FMLA_M",
+    "SCALAR_OP",
+    "format_instruction",
+    "format_trace",
+    "parse_instruction",
+    "parse_trace",
+    "Trace",
+    "LoopNest",
+    "Kernel",
+    "KernelBlock",
+]

@@ -1,0 +1,248 @@
+"""Assembly text rendering and parsing for the simulated ISA.
+
+The textual form is SME/SVE-flavoured but simplified: addresses are decimal
+word addresses in brackets, tiles render as ``za<k>`` with optional
+``[row]`` slice selectors, and FMOPA prints its live-row set so kernel
+listings show the sparsity that utilization depends on.  ``parse_trace``
+round-trips everything ``format_trace`` emits; the parser exists for tests
+and for writing small hand-assembled programs in examples.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Sequence
+
+from repro.isa.instructions import (
+    DUP,
+    EXT,
+    FADD_V,
+    FMLA,
+    FMLA_IDX,
+    FMLA_M,
+    FMOPA,
+    FMUL_IDX,
+    Instruction,
+    LD1D,
+    LD1D_STRIDED,
+    MOVA_TILE_TO_VEC,
+    MOVA_VEC_TO_TILE,
+    PRFM,
+    SCALAR_OP,
+    SET_LANES,
+    ST1D,
+    ST1D_SLICE,
+    ZERO_TILE,
+)
+from repro.isa.registers import TileReg, VReg
+
+
+def format_instruction(ins: Instruction) -> str:
+    """Render one instruction as assembly text."""
+    if isinstance(ins, LD1D):
+        suffix = f", mask={ins.mask}" if ins.mask != 8 else ""
+        return f"ld1d {ins.dst.name}, [{ins.addr}]{suffix}"
+    if isinstance(ins, LD1D_STRIDED):
+        return f"ld1d.s {ins.dst.name}, [{ins.addr}], stride={ins.stride}"
+    if isinstance(ins, ST1D):
+        suffix = f", mask={ins.mask}" if ins.mask != 8 else ""
+        return f"st1d {ins.src.name}, [{ins.addr}]{suffix}"
+    if isinstance(ins, ST1D_SLICE):
+        suffix = f", mask={ins.mask}" if ins.mask != 8 else ""
+        return f"st1d.za {ins.tile.name}[{ins.row}], [{ins.addr}]{suffix}"
+    if isinstance(ins, PRFM):
+        kind = "pstl" if ins.write else "pldl"
+        return f"prfm {kind}{ins.level}keep, [{ins.addr}], len={ins.length}"
+    if isinstance(ins, FMLA):
+        return f"fmla {ins.dst.name}, {ins.a.name}, {ins.b.name}"
+    if isinstance(ins, FMLA_IDX):
+        return f"fmla {ins.dst.name}, {ins.a.name}, {ins.b.name}[{ins.idx}]"
+    if isinstance(ins, FMUL_IDX):
+        return f"fmul {ins.dst.name}, {ins.a.name}, {ins.b.name}[{ins.idx}]"
+    if isinstance(ins, FADD_V):
+        return f"fadd {ins.dst.name}, {ins.a.name}, {ins.b.name}"
+    if isinstance(ins, EXT):
+        return f"ext {ins.dst.name}, {ins.a.name}, {ins.b.name}, #{ins.imm}"
+    if isinstance(ins, DUP):
+        return f"dup {ins.dst.name}, #{ins.value!r}"
+    if isinstance(ins, SET_LANES):
+        vals = ", ".join(repr(v) for v in ins.values)
+        return f"setl {ins.dst.name}, {{{vals}}}"
+    if isinstance(ins, FMOPA):
+        rows = ",".join(str(r) for r in ins.rows)
+        text = f"fmopa {ins.tile.name}, {ins.coef.name}, {ins.src.name}, rows={{{rows}}}"
+        if len(ins.useful_cols) != 8:
+            cols = ",".join(str(c) for c in ins.useful_cols)
+            text += f", cols={{{cols}}}"
+        return text
+    if isinstance(ins, ZERO_TILE):
+        return f"zero {ins.tile.name}"
+    if isinstance(ins, MOVA_TILE_TO_VEC):
+        return f"mova {ins.dst.name}, {ins.tile.name}[{ins.row}]"
+    if isinstance(ins, MOVA_VEC_TO_TILE):
+        return f"mova {ins.tile.name}[{ins.row}], {ins.src.name}"
+    if isinstance(ins, FMLA_M):
+        return f"fmla.m {ins.tile.name}, {{{ins.a_base.name}:4}}, {ins.b.name}[{ins.idx}]"
+    if isinstance(ins, SCALAR_OP):
+        return f"scalar.{ins.kind}"
+    raise TypeError(f"cannot format instruction of type {type(ins).__name__}")
+
+
+def format_trace(trace: Sequence[Instruction], numbered: bool = False) -> str:
+    """Render an instruction sequence as a listing (one line each)."""
+    lines = [format_instruction(ins) for ins in trace]
+    if numbered:
+        width = len(str(len(lines)))
+        lines = [f"{i:>{width}}:  {line}" for i, line in enumerate(lines)]
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Parsing
+# ---------------------------------------------------------------------------
+
+_VREG = re.compile(r"^z(\d+)$")
+_TILE = re.compile(r"^za(\d+)$")
+_TILE_SLICE = re.compile(r"^za(\d+)\[(\d+)\]$")
+
+
+class AsmSyntaxError(ValueError):
+    """Raised on malformed assembly text."""
+
+
+def _vreg(tok: str) -> VReg:
+    m = _VREG.match(tok)
+    if not m:
+        raise AsmSyntaxError(f"expected vector register, got {tok!r}")
+    return VReg(int(m.group(1)))
+
+
+def _tile(tok: str) -> TileReg:
+    m = _TILE.match(tok)
+    if not m:
+        raise AsmSyntaxError(f"expected tile register, got {tok!r}")
+    return TileReg(int(m.group(1)))
+
+
+def _tile_slice(tok: str) -> tuple[TileReg, int]:
+    m = _TILE_SLICE.match(tok)
+    if not m:
+        raise AsmSyntaxError(f"expected tile slice, got {tok!r}")
+    return TileReg(int(m.group(1))), int(m.group(2))
+
+
+def _addr(tok: str) -> int:
+    tok = tok.strip()
+    if not (tok.startswith("[") and tok.endswith("]")):
+        raise AsmSyntaxError(f"expected bracketed address, got {tok!r}")
+    return int(tok[1:-1])
+
+
+def _split_operands(rest: str) -> List[str]:
+    """Split an operand string on commas not inside {} or []."""
+    parts: List[str] = []
+    depth = 0
+    cur = []
+    for ch in rest:
+        if ch in "{[":
+            depth += 1
+        elif ch in "}]":
+            depth -= 1
+        if ch == "," and depth == 0:
+            parts.append("".join(cur).strip())
+            cur = []
+        else:
+            cur.append(ch)
+    if cur:
+        parts.append("".join(cur).strip())
+    return [p for p in parts if p]
+
+
+def parse_instruction(line: str) -> Instruction:
+    """Parse one line of assembly back to an :class:`Instruction`."""
+    line = line.split("//")[0].strip()
+    if not line:
+        raise AsmSyntaxError("empty line")
+    if ":" in line.split()[0] and line.split()[0].rstrip(":").isdigit():
+        # numbered listing prefix "12:"
+        line = line.split(":", 1)[1].strip()
+    mnemonic, _, rest = line.partition(" ")
+    ops = _split_operands(rest)
+
+    if mnemonic == "ld1d":
+        mask = int(ops[2].split("=")[1]) if len(ops) > 2 else 8
+        return LD1D(dst=_vreg(ops[0]), addr=_addr(ops[1]), mask=mask)
+    if mnemonic == "ld1d.s":
+        stride = int(ops[2].split("=")[1])
+        return LD1D_STRIDED(dst=_vreg(ops[0]), addr=_addr(ops[1]), stride=stride)
+    if mnemonic == "st1d":
+        mask = int(ops[2].split("=")[1]) if len(ops) > 2 else 8
+        return ST1D(src=_vreg(ops[0]), addr=_addr(ops[1]), mask=mask)
+    if mnemonic == "st1d.za":
+        tile, row = _tile_slice(ops[0])
+        mask = int(ops[2].split("=")[1]) if len(ops) > 2 else 8
+        return ST1D_SLICE(tile=tile, row=row, addr=_addr(ops[1]), mask=mask)
+    if mnemonic == "prfm":
+        kind = ops[0]
+        write = kind.startswith("pstl")
+        level = int(kind[4])
+        length = int(ops[2].split("=")[1])
+        return PRFM(addr=_addr(ops[1]), level=level, write=write, length=length)
+    if mnemonic == "fmla" and "[" in ops[2]:
+        reg, idx = ops[2][:-1].split("[")
+        return FMLA_IDX(dst=_vreg(ops[0]), a=_vreg(ops[1]), b=_vreg(reg), idx=int(idx))
+    if mnemonic == "fmla":
+        return FMLA(dst=_vreg(ops[0]), a=_vreg(ops[1]), b=_vreg(ops[2]))
+    if mnemonic == "fmul":
+        reg, idx = ops[2][:-1].split("[")
+        return FMUL_IDX(dst=_vreg(ops[0]), a=_vreg(ops[1]), b=_vreg(reg), idx=int(idx))
+    if mnemonic == "fadd":
+        return FADD_V(dst=_vreg(ops[0]), a=_vreg(ops[1]), b=_vreg(ops[2]))
+    if mnemonic == "ext":
+        return EXT(dst=_vreg(ops[0]), a=_vreg(ops[1]), b=_vreg(ops[2]), imm=int(ops[3].lstrip("#")))
+    if mnemonic == "dup":
+        return DUP(dst=_vreg(ops[0]), value=float(ops[1].lstrip("#")))
+    if mnemonic == "setl":
+        body = ops[1].strip()
+        if not (body.startswith("{") and body.endswith("}")):
+            raise AsmSyntaxError(f"expected lane set, got {body!r}")
+        values = tuple(float(v) for v in body[1:-1].split(","))
+        return SET_LANES(dst=_vreg(ops[0]), values=values)
+    if mnemonic == "fmopa":
+        rows_tok = ops[3].split("=")[1]
+        rows = tuple(int(r) for r in rows_tok.strip("{}").split(",") if r)
+        kwargs = {}
+        if len(ops) > 4:
+            cols_tok = ops[4].split("=")[1]
+            kwargs["useful_cols"] = tuple(int(c) for c in cols_tok.strip("{}").split(",") if c)
+        return FMOPA(tile=_tile(ops[0]), coef=_vreg(ops[1]), src=_vreg(ops[2]), rows=rows, **kwargs)
+    if mnemonic == "zero":
+        return ZERO_TILE(tile=_tile(ops[0]))
+    if mnemonic == "mova":
+        if "[" in ops[0]:
+            tile, row = _tile_slice(ops[0])
+            return MOVA_VEC_TO_TILE(tile=tile, row=row, src=_vreg(ops[1]))
+        tile, row = _tile_slice(ops[1])
+        return MOVA_TILE_TO_VEC(dst=_vreg(ops[0]), tile=tile, row=row)
+    if mnemonic == "fmla.m":
+        group = ops[1].strip("{}").split(":")[0]
+        reg, idx = ops[2][:-1].split("[")
+        return FMLA_M(tile=_tile(ops[0]), a_base=_vreg(group), b=_vreg(reg), idx=int(idx))
+    if mnemonic.startswith("scalar"):
+        kind = mnemonic.partition(".")[2] or "addr"
+        return SCALAR_OP(kind=kind)
+    raise AsmSyntaxError(f"unknown mnemonic {mnemonic!r}")
+
+
+def parse_trace(text: str) -> List[Instruction]:
+    """Parse a multi-line listing into a list of instructions.
+
+    Blank lines and ``//`` comments are skipped.
+    """
+    out: List[Instruction] = []
+    for line in text.splitlines():
+        stripped = line.split("//")[0].strip()
+        if not stripped:
+            continue
+        out.append(parse_instruction(stripped))
+    return out

@@ -1,0 +1,146 @@
+"""Program containers: instruction traces and block-structured kernels.
+
+A *trace* is a straight-line instruction sequence.  A *kernel* is the unit
+the engines consume: a preamble trace (coefficient materialization, tile
+zeroing where appropriate) plus an ordered iteration space of *blocks*, each
+of which emits its own trace on demand.  Blocks are the tiling granularity
+of the paper's micro kernels (one j-block of one i-band); emitting lazily
+keeps 8192x8192 runs feasible, because the timing engine can simulate a
+sampled band of blocks and extrapolate instead of materializing hundreds of
+millions of instructions.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
+
+from repro.isa.instructions import Instruction, PortClass
+
+
+class Trace(List[Instruction]):
+    """A straight-line instruction sequence with summary statistics."""
+
+    def port_counts(self) -> Dict[PortClass, int]:
+        """Instruction count per execution-port class."""
+        counts: Counter = Counter()
+        for ins in self:
+            counts[ins.port] += 1
+        return dict(counts)
+
+    def flops(self) -> int:
+        """Total machine flops in the trace."""
+        return sum(ins.flops for ins in self)
+
+    def useful_flops(self) -> int:
+        """Total flops contributing to the stencil result."""
+        return sum(ins.useful_flops for ins in self)
+
+    def memory_words(self) -> Tuple[int, int]:
+        """``(words_loaded, words_stored)`` by the trace."""
+        loads = sum(n for ins in self for _, n in ins.mem_reads())
+        stores = sum(n for ins in self for _, n in ins.mem_writes())
+        return loads, stores
+
+    def __add__(self, other: Iterable[Instruction]) -> "Trace":
+        out = Trace(self)
+        out.extend(other)
+        return out
+
+
+@dataclass(frozen=True)
+class KernelBlock:
+    """One iteration of a kernel's block loop.
+
+    ``key`` identifies the block (typically ``(i_band, j_block)`` grid-tile
+    coordinates, with a leading plane index for 3D); ``points`` is the
+    number of output grid points the block updates, used to extrapolate
+    sampled timings to full-grid cycle counts.
+    """
+
+    key: Tuple[int, ...]
+    points: int
+
+
+@dataclass
+class LoopNest:
+    """Ordered description of a kernel's iteration space.
+
+    ``shape`` records the logical trip counts per loop level (outermost
+    first); ``blocks`` lists every block in execution order.  ``rows`` maps
+    the outermost loop index to the slice of ``blocks`` it covers, which is
+    what band-sampled timing uses to pick a contiguous, representative
+    region.
+    """
+
+    shape: Tuple[int, ...]
+    blocks: List[KernelBlock] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.blocks)
+
+    def __iter__(self) -> Iterator[KernelBlock]:
+        return iter(self.blocks)
+
+    def total_points(self) -> int:
+        return sum(b.points for b in self.blocks)
+
+    def bands(self) -> List[List[KernelBlock]]:
+        """Group blocks by their outermost loop index, in order."""
+        groups: Dict[int, List[KernelBlock]] = {}
+        for b in self.blocks:
+            groups.setdefault(b.key[0], []).append(b)
+        return [groups[k] for k in sorted(groups)]
+
+
+class Kernel(abc.ABC):
+    """A compiled stencil program for the simulated machine.
+
+    Concrete kernels live in :mod:`repro.kernels`.  The contract:
+
+    * :meth:`preamble` returns setup instructions executed once (coefficient
+      vector materialization and similar);
+    * :meth:`loop_nest` returns the ordered block iteration space;
+    * :meth:`emit` returns the trace for one block.  Emission must be pure:
+      calling it twice for the same block yields equivalent instructions,
+      which is what allows functional verification and timing to share it.
+    """
+
+    #: Human-readable method name ("hstencil-inplace", "matrix-only", ...).
+    name: str = "kernel"
+
+    @abc.abstractmethod
+    def preamble(self) -> Trace:
+        """Setup instructions executed once before the block loop."""
+
+    @abc.abstractmethod
+    def loop_nest(self) -> LoopNest:
+        """The ordered iteration space of the kernel."""
+
+    @abc.abstractmethod
+    def emit(self, block: KernelBlock) -> Trace:
+        """Instruction trace for one block."""
+
+    # -- conveniences --------------------------------------------------------
+
+    def full_trace(self) -> Trace:
+        """Materialize the whole program (small grids / tests only)."""
+        out = Trace(self.preamble())
+        for block in self.loop_nest():
+            out.extend(self.emit(block))
+        return out
+
+    def describe(self) -> str:
+        """One-line summary used in logs and benchmark tables."""
+        nest = self.loop_nest()
+        return f"{self.name}: {len(nest)} blocks, {nest.total_points()} points"
+
+
+def concat_traces(traces: Sequence[Iterable[Instruction]]) -> Trace:
+    """Concatenate several traces into one."""
+    out = Trace()
+    for t in traces:
+        out.extend(t)
+    return out

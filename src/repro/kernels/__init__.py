@@ -1,0 +1,60 @@
+"""Kernel generators: every stencil method of the paper's evaluation.
+
+Each generator compiles a :class:`~repro.stencils.spec.StencilSpec` plus a
+pair of grids into a :class:`~repro.isa.program.Kernel` (instruction
+streams for the simulated machine).  The methods match Table 6 and the
+Figure 13 breakdown:
+
+=================  =========================================================
+``auto``           Compiler auto-vectorization baseline (gather form, no
+                   reuse tricks) — the 1.0x normalization of every figure.
+``vector-only``    Expert-optimized vector kernel (gather form, hoisted row
+                   loads, EXT reuse, multiple accumulators).
+``matrix-only``    STOP: outer-axis outer products, multi-register tiles,
+                   deferred stores (the state of the art being improved on).
+``mat-ortho``      Outer + inner axis outer products (strided column loads)
+                   — the Figure 13 strawman that loses to auto on stars.
+``hstencil-naive`` Naive matrix-vector method (Figure 7): independent matrix
+                   and vector passes with an extra accumulation round trip.
+``hstencil``       The in-place accumulation matrix-vector kernel
+                   (Algorithm 2) with optional instruction scheduling and
+                   spatial prefetch — the paper's contribution.
+``hstencil-m4``    The Apple-M4 portability variant (Section 4): M-MLA
+                   groups, naive accumulation, EXT/LD scheduling, prefetch.
+=================  =========================================================
+
+Cross-cutting passes live in :mod:`repro.kernels.replacement` (MLA rollback
+and EXT->load balancing), :mod:`repro.kernels.scheduling` (dependence-aware
+list scheduling) and :mod:`repro.kernels.prefetch` (spatial prefetch
+insertion helpers).
+"""
+
+from repro.kernels.base import KernelOptions, StencilKernelBase, sliding_vectors
+from repro.kernels.autovec import AutoVectorKernel
+from repro.kernels.vector_only import VectorOnlyKernel
+from repro.kernels.matrix_only import MatrixOnlyKernel
+from repro.kernels.matrix_ortho import MatrixOrthoKernel
+from repro.kernels.naive_hybrid import NaiveHybridKernel
+from repro.kernels.inplace_hybrid import InplaceHybridKernel
+from repro.kernels.m4 import M4HybridKernel
+from repro.kernels.registry import make_kernel, METHODS
+from repro.kernels.scheduling import schedule_trace
+from repro.kernels.replacement import ReplacementPlan, plan_replacement
+
+__all__ = [
+    "KernelOptions",
+    "StencilKernelBase",
+    "sliding_vectors",
+    "AutoVectorKernel",
+    "VectorOnlyKernel",
+    "MatrixOnlyKernel",
+    "MatrixOrthoKernel",
+    "NaiveHybridKernel",
+    "InplaceHybridKernel",
+    "M4HybridKernel",
+    "make_kernel",
+    "METHODS",
+    "schedule_trace",
+    "ReplacementPlan",
+    "plan_replacement",
+]

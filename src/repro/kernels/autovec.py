@@ -1,0 +1,121 @@
+"""Auto-vectorization baseline (``Auto`` in Table 6).
+
+Models what a compiler emits for the plain scalar stencil loop at ``-O3``:
+the gather form of Figure 4a, vectorized along ``j``, with
+
+* one (redundant) vector load per tap — no cross-tap or cross-iteration
+  reuse, exactly the memory behaviour data-layout papers criticize;
+* a short unroll of two ``j`` blocks with independent accumulator chains
+  (compilers do break the FMA dependence chain this far, and without it
+  the baseline would be implausibly slow);
+* row-major traversal, which is why the hardware stream prefetcher covers
+  it well (Table 3's high vector-method hit rates).
+
+Every figure normalizes speedups to this kernel.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.isa.instructions import FADD_V, FMLA_IDX, FMUL_IDX, LD1D, SET_LANES, ST1D
+from repro.isa.program import KernelBlock, LoopNest, Trace
+from repro.isa.registers import SVL_LANES, VReg
+from repro.kernels.base import GroupedTrace, RegRotator, StencilKernelBase
+
+#: Registers reserved for broadcast coefficient lanes (z16..z27).
+_COEF_REGS = tuple(range(16, 28))
+#: Data rotation pool (z0..z11); loaded values have one-instruction live
+#: ranges so a 12-deep rotation can never clobber a live value.
+_DATA_REGS = tuple(range(0, 12))
+#: Accumulators live until the block's store, so they get their own pool.
+_ACC_REGS = tuple(range(12, 16))
+#: j-blocks processed per iteration with independent accumulators.
+_UNROLL = 2
+
+
+class AutoVectorKernel(StencilKernelBase):
+    """Gather-form compiler-baseline kernel."""
+
+    method = "auto"
+    traversal = "row"
+    supports_3d = True
+
+    def __init__(self, spec, src, dst, config, options=None) -> None:
+        super().__init__(spec, src, dst, config, options)
+        self._require_divisible(SVL_LANES)
+        self._taps = list(spec.taps())
+        max_taps = len(_COEF_REGS) * SVL_LANES
+        if len(self._taps) > max_taps:
+            raise ValueError(
+                f"{self.method}: {len(self._taps)} taps exceed coefficient "
+                f"register capacity ({max_taps})"
+            )
+
+    # ------------------------------------------------------------------
+
+    def preamble(self) -> Trace:
+        """Materialize tap coefficients into broadcast registers."""
+        out = Trace()
+        values: List[float] = [c for (_, _, _, c) in self._taps]
+        while len(values) % SVL_LANES:
+            values.append(0.0)
+        for r, start in enumerate(range(0, len(values), SVL_LANES)):
+            out.append(
+                SET_LANES(VReg(_COEF_REGS[r]), tuple(values[start : start + SVL_LANES]))
+            )
+        return out
+
+    def loop_nest(self) -> LoopNest:
+        return self._row_nest()
+
+    def emit(self, block: KernelBlock) -> Trace:
+        if self.spec.ndim == 2:
+            (i,) = block.key
+            z = None
+        else:
+            z, i = block.key
+        out = GroupedTrace()
+        data = RegRotator(_DATA_REGS)
+        acc_pool = RegRotator(_ACC_REGS)
+        cols = self.src.cols
+        for j0 in range(0, cols, SVL_LANES * _UNROLL):
+            accs = []
+            for u in range(_UNROLL):
+                j = j0 + u * SVL_LANES
+                if j >= cols:
+                    break
+                acc = self._emit_point_block(out, data, acc_pool, i, j, z)
+                accs.append((acc, j))
+            for acc, j in accs:
+                out.append(ST1D(acc, self._addr(self.dst, i, j, z)))
+            self._overhead(out)
+        return self._finalize(out)
+
+    def _emit_point_block(
+        self, out: Trace, data: RegRotator, acc_pool: RegRotator, i: int, j: int, z
+    ) -> VReg:
+        """One 8-wide output vector: a load + FMA per tap, two FMA chains.
+
+        Two accumulators per block model the chain-breaking modern
+        compilers apply to reassociable reductions; the chains are folded
+        with one FADD before the store.
+        """
+        acc0 = acc_pool.take()
+        acc1 = acc_pool.take()
+        started = [False, False]
+        for t, (dz, di, dj, _c) in enumerate(self._taps):
+            reg = data.take()
+            src_z = None if z is None else z + dz
+            out.append(LD1D(reg, self._addr(self.src, i + di, j + dj, src_z)))
+            coef_reg = VReg(_COEF_REGS[t // SVL_LANES])
+            idx = t % SVL_LANES
+            acc = acc0 if t % 2 == 0 else acc1
+            if not started[t % 2]:
+                out.append(FMUL_IDX(acc, reg, coef_reg, idx))
+                started[t % 2] = True
+            else:
+                out.append(FMLA_IDX(acc, reg, coef_reg, idx))
+        if started[1]:
+            out.append(FADD_V(acc0, acc0, acc1))
+        return acc0

@@ -1,0 +1,404 @@
+"""The HStencil in-place accumulation matrix-vector kernel (Algorithm 2).
+
+This is the paper's contribution.  For every output tile (8 rows x 8w
+columns held in ``w`` ZA registers):
+
+* the **matrix unit** computes the outer-axis part: one FMOPA per input row
+  against the sliding vertical coefficient vector (for box stencils, one
+  per horizontal shift — the full Equation 3 scatter);
+* the **vector unit** computes the inner-axis part of star stencils: the
+  horizontal taps of each interior row are gathered with FMLA chains into
+  a row partial sum;
+* the partial sum is accumulated **in place** into the tile with a single
+  outer product against a unit-basis coefficient vector — the trick of
+  Section 3.1.1 that replaces the slice-to-vector transfer + add + store
+  round trip of the naive method with one matrix-pipe instruction
+  (Equation 6's ``T_overhead = T_outer_product``);
+* tile row ``m`` is complete once input row ``i + m + r`` has been
+  processed, so its store is emitted inside the loop (the scattered-store
+  optimization of Section 3.2.2) instead of as an end-of-block burst;
+* shifted operands come from EXT data reuse or unaligned loads according
+  to the :mod:`~repro.kernels.replacement` plan, which also decides how
+  many horizontal taps are rolled back to the matrix unit;
+* with ``options.scheduled`` the block trace is re-ordered by the
+  dependence-aware list scheduler (Section 3.2.2), and with
+  ``options.prefetch`` the spatial-prefetch instructions of Algorithm 3
+  are inserted (next input row, destination output row).
+
+3D stencils accumulate all ``dz`` planes into the same tile before the
+row store — the paper's "2D stencil with different weights" treatment.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.isa.instructions import (
+    EXT,
+    FADD_V,
+    FMLA_IDX,
+    FMOPA,
+    FMUL_IDX,
+    LD1D,
+    PRFM,
+    SET_LANES,
+    ST1D_SLICE,
+    ZERO_TILE,
+)
+from repro.isa.program import KernelBlock, LoopNest, Trace
+from repro.isa.registers import SVL_LANES, TileReg, VReg
+from repro.kernels.base import (
+    GroupedTrace,
+    COEF_H_REG,
+    CV_POOL,
+    KernelOptions,
+    RegRotator,
+    StencilKernelBase,
+    rows_for_placement,
+    sliding_vectors,
+)
+from repro.kernels.replacement import ReplacementPlan, plan_replacement
+
+def _register_pools(w: int):
+    """(aligned, shift, vacc) register pools for unroll factor ``w``.
+
+    Rotation depth is what lets the list scheduler run MLA chains ahead of
+    the tile dependency chain: partial-sum accumulators and shifted
+    operands each need several registers in flight, otherwise WAR hazards
+    couple consecutive iterations and serialize the kernel.
+    """
+    if w <= 4:
+        return tuple(range(0, 6)), tuple(range(6, 11)), tuple(range(11, 16))
+    return tuple(range(0, 10)), tuple(range(10, 13)), tuple(range(13, 16))
+
+
+class InplaceHybridKernel(StencilKernelBase):
+    """HStencil: hybrid matrix-vector kernel with in-place accumulation."""
+
+    method = "hstencil"
+    traversal = "panel"
+    supports_3d = True
+
+    def __init__(self, spec, src, dst, config, options: Optional[KernelOptions] = None) -> None:
+        options = options or KernelOptions()
+        super().__init__(spec, src, dst, config, options)
+        w = self.options.unroll_j
+        if not 1 <= w <= 8:
+            raise ValueError(f"unroll_j must be in [1, 8], got {w}")
+        # Unlike the comparison kernels, the HStencil kernel handles
+        # arbitrary interior sizes: partial bands use a shorter input-row
+        # window and partial tiles use masked stores (tail predication).
+        self._is_star = spec.pattern == "star"
+        if self._is_star:
+            if not config.has_vector_fmla:
+                raise ValueError(
+                    f"{config.name} has no vector FMLA; use the hstencil-m4 kernel"
+                )
+            if not config.supports_inplace_accumulation:
+                raise ValueError(
+                    f"{config.name} cannot accumulate in place (fragmented "
+                    "M-MLA layout); use the hstencil-m4 kernel"
+                )
+        self.plan: ReplacementPlan = plan_replacement(spec, config, self.options)
+        self._build_tables()
+
+    # ------------------------------------------------------------------
+
+    def _build_tables(self) -> None:
+        spec = self.spec
+        r = spec.radius
+        self._cv_tables: Dict[Tuple[int, int], int] = {}
+        self._cv_rows: Dict[Tuple[int, int, int], Tuple[int, ...]] = {}
+        self._matrix_shifts: Dict[int, Tuple[int, ...]] = {}
+
+        for dz in spec.plane_offsets():
+            if self._is_star:
+                shifts: Tuple[int, ...] = (0,)
+            else:
+                shifts = spec.nonzero_shifts(dz)
+            self._matrix_shifts[dz] = shifts
+            for s in shifts:
+                col = spec.column(s, dz=dz)
+                self._cv_tables[(dz, s)] = self._write_rodata(
+                    sliding_vectors(col, r), f"cv_dz{dz}_s{s}"
+                )
+                for d in range(-r, SVL_LANES + r):
+                    self._cv_rows[(dz, s, d)] = rows_for_placement(col, r, d)
+
+        # Rolled-back horizontal taps: single-live-row sliding vectors.
+        if self._is_star:
+            hrow = spec.horizontal_offaxis_coeffs()
+            for s in self.plan.rollback_shifts:
+                col = np.zeros(2 * r + 1)
+                col[r] = hrow[s + r]
+                self._cv_tables[("rb", s)] = self._write_rodata(
+                    sliding_vectors(col, r), f"cv_rb_s{s}"
+                )
+            # Compacted vector-tap coefficients: lane t holds the t-th
+            # vector shift's coefficient (consumed by FMLA_IDX).
+            coefs = [hrow[s + r] for s in self.plan.vector_shifts]
+            while len(coefs) < SVL_LANES:
+                coefs.append(0.0)
+            if len(coefs) > SVL_LANES:
+                raise ValueError(
+                    f"{self.method}: more than {SVL_LANES} vector taps "
+                    f"({len(coefs)}) — roll more back to the matrix unit"
+                )
+            self._hcoef_values = tuple(coefs)
+        else:
+            self._hcoef_values = tuple([0.0] * SVL_LANES)
+
+    # ------------------------------------------------------------------
+
+    def preamble(self) -> Trace:
+        out = Trace()
+        if self._is_star and self.plan.vector_shifts:
+            out.extend(self._unit_vector_preamble())
+            out.append(SET_LANES(COEF_H_REG, self._hcoef_values))
+        return out
+
+    def loop_nest(self) -> LoopNest:
+        """Band-major nest with partial tail bands/panels (predication)."""
+        rows, cols = self.src.rows, self.src.cols
+        w8 = SVL_LANES * self.options.unroll_j
+        bands = (rows + SVL_LANES - 1) // SVL_LANES
+        panels = (cols + w8 - 1) // w8
+        blocks = []
+
+        def band_height(ib: int) -> int:
+            return min(SVL_LANES, rows - ib * SVL_LANES)
+
+        def panel_width(jp: int) -> int:
+            return min(w8, cols - jp * w8)
+
+        if self.spec.ndim == 2:
+            for ib in range(bands):
+                for jp in range(panels):
+                    blocks.append(
+                        KernelBlock(
+                            key=(ib, jp), points=band_height(ib) * panel_width(jp)
+                        )
+                    )
+            return LoopNest(shape=(bands, panels), blocks=blocks)
+        depth = self.src.depth  # type: ignore[union-attr]
+        for z in range(depth):
+            for ib in range(bands):
+                for jp in range(panels):
+                    blocks.append(
+                        KernelBlock(
+                            key=(z, ib, jp), points=band_height(ib) * panel_width(jp)
+                        )
+                    )
+        return LoopNest(shape=(depth, bands, panels), blocks=blocks)
+
+    # ------------------------------------------------------------------
+
+    def emit(self, block: KernelBlock) -> Trace:
+        if self.spec.ndim == 2:
+            ib, jp = block.key
+            z = None
+        else:
+            z, ib, jp = block.key
+        w = self.options.unroll_j
+        r = self.spec.radius
+        rows, cols = self.src.rows, self.src.cols
+        i_base = ib * SVL_LANES
+        j_base = jp * SVL_LANES * w
+        band_h = min(SVL_LANES, rows - i_base)
+        panel_w = min(SVL_LANES * w, cols - j_base)
+        # Tile widths of this panel: full vectors plus a masked tail.
+        widths = [SVL_LANES] * (panel_w // SVL_LANES)
+        if panel_w % SVL_LANES:
+            widths.append(panel_w % SVL_LANES)
+        n_tiles = len(widths)
+        full_panel = panel_w == SVL_LANES * w
+        out = GroupedTrace()
+        aligned_regs, shift_regs, vacc_regs = _register_pools(w)
+        aligned_pool = RegRotator(aligned_regs)
+        shift_pool = RegRotator(shift_regs)
+        vacc_pool = RegRotator(vacc_regs)
+        cv_pool = RegRotator(CV_POOL)
+        tiles = [TileReg(u) for u in range(n_tiles)]
+        rows_limit = rows
+
+        for tile in tiles:
+            out.append(ZERO_TILE(tile))
+
+        for d in range(-r, band_h + r):
+            i0 = i_base + d
+            interior = 0 <= d < band_h
+
+            # Spatial prefetch of B's destination row (Algorithm 3 line 6):
+            # issued at iteration start so it leads the store by the whole
+            # compute body.
+            if self.options.prefetch and d >= r:
+                m = d - r
+                for u in range(n_tiles):
+                    out.append(
+                        PRFM(
+                            self._addr(self.dst, i_base + m, j_base + u * SVL_LANES, z),
+                            write=True,
+                            length=widths[u],
+                        )
+                    )
+
+            for dz in self.spec.plane_offsets():
+                src_z = None if z is None else z + dz
+                self._emit_plane(
+                    out,
+                    aligned_pool,
+                    shift_pool,
+                    vacc_pool,
+                    cv_pool,
+                    tiles,
+                    d,
+                    dz,
+                    i0,
+                    j_base,
+                    src_z,
+                    interior,
+                    rows_limit,
+                    band_h,
+                    full_panel,
+                )
+
+            # Scattered store: row m = d - r is complete after this
+            # iteration's vertical contribution (Algorithm 2 line 13-14).
+            if d >= r:
+                m = d - r
+                for u in range(n_tiles):
+                    out.append(
+                        ST1D_SLICE(
+                            tiles[u],
+                            m,
+                            self._addr(self.dst, i_base + m, j_base + u * SVL_LANES, z),
+                            mask=widths[u],
+                        )
+                    )
+            self._overhead(out)
+
+        return self._finalize(out)
+
+    # ------------------------------------------------------------------
+
+    def _emit_plane(
+        self,
+        out: Trace,
+        aligned_pool: RegRotator,
+        shift_pool: RegRotator,
+        vacc_pool: RegRotator,
+        cv_pool: RegRotator,
+        tiles: List[TileReg],
+        d: int,
+        dz: int,
+        i0: int,
+        j_base: int,
+        src_z: Optional[int],
+        interior: bool,
+        rows_limit: int,
+        band_h: int = SVL_LANES,
+        full_panel: bool = True,
+    ) -> None:
+        w = len(tiles)
+        r = self.spec.radius
+        mat_shifts = [
+            s for s in self._matrix_shifts[dz] if self._cv_rows[(dz, s, d)]
+        ]
+        star_extra = self._is_star and interior and dz == 0
+        rollback = list(self.plan.rollback_shifts) if star_extra else []
+        vector = list(self.plan.vector_shifts) if star_extra else []
+        needed_shifts = sorted({s for s in mat_shifts + rollback + vector if s != 0})
+        need_ext = any(s in self.plan.ext_shifts for s in needed_shifts)
+        need_any = bool(mat_shifts or rollback or vector)
+        if not need_any:
+            return
+
+        # Aligned loads (plus EXT neighbours) for this input row.  A tail
+        # panel has no right-neighbour vector to concatenate from, so its
+        # shifted operands fall back to unaligned loads.
+        aligned: Dict[int, VReg] = {}
+        lo = -1 if need_ext else 0
+        hi = (w + 1) if (need_ext and full_panel) else w
+        for u in range(lo, hi):
+            reg = aligned_pool.take()
+            out.append(
+                LD1D(reg, self._addr(self.src, i0, j_base + u * SVL_LANES, src_z))
+            )
+            aligned[u] = reg
+
+        # Spatial prefetch of the next input row (Algorithm 3 line 4).
+        # One extra vector covers the right-neighbour line the EXT reuse
+        # will touch; the left neighbour was covered by the previous block.
+        # Clipped to the band's own read window: prefetching into the next
+        # band is wasted (the line is evicted during the rest of the sweep
+        # and refetched anyway, pure DRAM-traffic overhead).
+        if self.options.prefetch:
+            nxt = i0 + self.options.prefetch_distance
+            if nxt < rows_limit + r and d + self.options.prefetch_distance < band_h + r:
+                extra = 1 if full_panel else 0
+                for u in range(w + extra):
+                    out.append(
+                        PRFM(self._addr(self.src, nxt, j_base + u * SVL_LANES, src_z))
+                    )
+
+        def operand(u: int, s: int) -> VReg:
+            if s == 0:
+                return aligned[u]
+            reg = shift_pool.take()
+            # The last tile of a tail panel has no right-neighbour vector;
+            # positive shifts there use an unaligned load instead of EXT.
+            no_right = s > 0 and (u + 1) not in aligned
+            if s in self.plan.load_shifts or no_right:
+                out.append(
+                    LD1D(reg, self._addr(self.src, i0, j_base + u * SVL_LANES + s, src_z))
+                )
+            elif s > 0:
+                out.append(EXT(reg, aligned[u], aligned[u + 1], s))
+            else:
+                out.append(EXT(reg, aligned[u - 1], aligned[u], SVL_LANES + s))
+            return reg
+
+        # Matrix part: outer-axis FMOPAs (all planes, all matrix shifts).
+        for s in mat_shifts:
+            cv = cv_pool.take()
+            out.append(LD1D(cv, self._cv_addr((dz, s), d)))
+            rows = self._cv_rows[(dz, s, d)]
+            for u in range(w):
+                out.append(FMOPA(tiles[u], cv, operand(u, s), rows=rows))
+
+        # Rolled-back horizontal taps: single-live-row outer products.
+        for s in rollback:
+            cv = cv_pool.take()
+            out.append(LD1D(cv, self._cv_addr(("rb", s), d)))
+            for u in range(w):
+                out.append(FMOPA(tiles[u], cv, operand(u, s), rows=(d,)))
+
+        # Vector part + in-place accumulation (Algorithm 2 lines 9-12).
+        # Four or more taps are split into two FMA sub-chains folded by one
+        # FADD, halving the partial-sum latency the accumulate waits on.
+        if vector:
+            for u in range(w):
+                n = len(vector)
+                split = n >= 4
+                vacc = vacc_pool.take()
+                vacc2 = vacc_pool.take() if split else None
+                started = [False, False]
+                for t, s in enumerate(vector):
+                    op = operand(u, s)
+                    chain = t % 2 if split else 0
+                    target = vacc if chain == 0 else vacc2
+                    if not started[chain]:
+                        out.append(FMUL_IDX(target, op, COEF_H_REG, t))
+                        started[chain] = True
+                    else:
+                        out.append(FMLA_IDX(target, op, COEF_H_REG, t))
+                if split and started[1]:
+                    out.append(FADD_V(vacc, vacc, vacc2))
+                out.append(
+                    FMOPA(tiles[u], self.unit_reg(d), vacc, rows=(d,))
+                )
+
+    def _cv_addr(self, key, d: int) -> int:
+        return self._cv_tables[key] + (d + self.spec.radius) * SVL_LANES

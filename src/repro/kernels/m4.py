@@ -1,0 +1,214 @@
+"""Apple-M4 portability kernel (Section 4).
+
+The M4 preset has no vector-FMLA capability; the inner-axis work of star
+stencils runs on the matrix unit's **M-MLA** (``FMLA_M``) instruction
+instead, which multiplies a group of four consecutive vector registers by
+a broadcast coefficient and accumulates into the *even* rows of a tile.
+That fragmented layout makes in-place accumulation architecturally
+infeasible (Section 4.1), so the kernel reverts to the naive structure:
+
+* **pass 1** — vertical outer products accumulate into the output tiles;
+* **pass 2** — per four-row group: shifted row vectors are synthesized
+  with EXT (still available and overlappable with matrix instructions,
+  Section 4.2) and M-MLA accumulates the horizontal taps into a scratch
+  tile's even rows;
+* **combine** — the multi-stage workflow of Section 3.1.1 that in-place
+  accumulation exists to avoid: each partial sum is moved out of the
+  tiles with the slow slice-to-vector MOVA (2x the outer-product
+  initiation interval), aggregated with FADD, and stored.
+
+Box stencils need no vector-compute part, so on the M4 they use the
+ordinary :class:`~repro.kernels.inplace_hybrid.InplaceHybridKernel` box
+path (see :mod:`repro.kernels.registry`); this class implements the star
+path only.  Scheduling and spatial prefetch apply exactly as on the LX2
+(Sections 4.2/4.3, Figure 18).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.isa.instructions import (
+    EXT,
+    FADD_V,
+    FMLA_M,
+    FMOPA,
+    LD1D,
+    MOVA_TILE_TO_VEC,
+    PRFM,
+    SET_LANES,
+    ST1D,
+    ZERO_TILE,
+)
+from repro.isa.program import KernelBlock, LoopNest, Trace
+from repro.isa.registers import SVL_LANES, TileReg, VReg
+from repro.kernels.base import (
+    GroupedTrace,
+    COEF_H_REG,
+    CV_POOL,
+    KernelOptions,
+    RegRotator,
+    StencilKernelBase,
+    rows_for_placement,
+    sliding_vectors,
+)
+
+#: Aligned row vectors of one 4-row group: left, center, right banks.
+_LEFT_REGS = tuple(range(0, 4))
+_CENTER_REGS = tuple(range(4, 8))
+#: The M-MLA vector-group window (must be consecutive registers).
+_GROUP_BASE = 8
+_RIGHT_REGS = tuple(range(12, 16))
+#: Combine-phase temporaries (deep rotation so the scheduler can
+#: overlap the MOVA->FADD->store chains of adjacent row groups).
+_COMBINE_REGS = tuple(range(17, 24))
+
+_GROUP = FMLA_M.GROUP  # 4 rows per M-MLA
+
+
+class M4HybridKernel(StencilKernelBase):
+    """Star-stencil kernel for the Apple M4 (M-MLA + naive accumulation)."""
+
+    method = "hstencil-m4"
+    traversal = "panel"
+    supports_3d = False
+
+    def __init__(self, spec, src, dst, config, options: Optional[KernelOptions] = None) -> None:
+        options = options or KernelOptions()
+        super().__init__(spec, src, dst, config, options)
+        if spec.pattern != "star":
+            raise ValueError(
+                f"{self.method} implements the star path; box stencils use the "
+                "inplace kernel's box path on the M4"
+            )
+        if not config.has_matrix_mla:
+            raise ValueError(f"{config.name} has no matrix-MLA (M-MLA) support")
+        w = self.options.unroll_j
+        if not 1 <= w <= 6:
+            # Two tiles are reserved as alternating M-MLA scratch
+            # accumulators (double buffering decouples adjacent groups).
+            raise ValueError(f"unroll_j must be in [1, 6] on the M4, got {w}")
+        self._require_divisible(SVL_LANES * w, rows_multiple=SVL_LANES)
+        r = spec.radius
+        vcol = spec.vertical_coeffs()
+        self._v_table = self._write_rodata(sliding_vectors(vcol, r), "cv_vertical")
+        self._v_rows = {
+            d: rows_for_placement(vcol, r, d) for d in range(-r, SVL_LANES + r)
+        }
+        hrow = spec.horizontal_offaxis_coeffs()
+        self._h_shifts = [s for s in range(-r, r + 1) if s != 0 and hrow[s + r] != 0.0]
+        coefs = [hrow[s + r] for s in self._h_shifts]
+        while len(coefs) < SVL_LANES:
+            coefs.append(0.0)
+        if len(coefs) > SVL_LANES:
+            raise ValueError(f"{self.method}: too many horizontal taps")
+        self._hcoef_values = tuple(coefs)
+
+    # ------------------------------------------------------------------
+
+    def preamble(self) -> Trace:
+        out = Trace()
+        out.append(SET_LANES(COEF_H_REG, self._hcoef_values))
+        return out
+
+    def loop_nest(self) -> LoopNest:
+        return self._band_nest(SVL_LANES * self.options.unroll_j)
+
+    def emit(self, block: KernelBlock) -> Trace:
+        ib, jp = block.key
+        w = self.options.unroll_j
+        r = self.spec.radius
+        i_base = ib * SVL_LANES
+        j_base = jp * SVL_LANES * w
+        out = GroupedTrace()
+        aligned_pool = RegRotator(tuple(range(0, 10)))
+        cv_pool = RegRotator(CV_POOL)
+        combine_pool = RegRotator(_COMBINE_REGS)
+        tiles = [TileReg(u) for u in range(w)]
+        scratches = [TileReg(w), TileReg(w + 1)]
+        rows_limit = self.src.rows
+
+        # ---- pass 1: vertical outer products into the output tiles ----
+        for tile in tiles:
+            out.append(ZERO_TILE(tile))
+        for d in range(-r, SVL_LANES + r):
+            i0 = i_base + d
+            rows = self._v_rows[d]
+            if not rows:
+                continue
+            cv = cv_pool.take()
+            out.append(LD1D(cv, self._v_table + (d + r) * SVL_LANES))
+            if self.options.prefetch:
+                nxt = i0 + self.options.prefetch_distance
+                if nxt < rows_limit + r:
+                    for u in range(w):
+                        out.append(PRFM(self.src.addr(nxt, j_base + u * SVL_LANES)))
+            for u in range(w):
+                reg = aligned_pool.take()
+                out.append(LD1D(reg, self.src.addr(i0, j_base + u * SVL_LANES)))
+                out.append(FMOPA(tiles[u], cv, reg, rows=rows))
+            self._overhead(out)
+
+        # ---- pass 2: M-MLA horizontal axis + multi-stage combine ----
+        group_no = 0
+        for u in range(w):
+            j = j_base + u * SVL_LANES
+            for g0 in range(0, SVL_LANES, _GROUP):
+                scratch = scratches[group_no % 2]
+                group_no += 1
+                self._emit_group(out, combine_pool, scratch, tiles[u], i_base, g0, j)
+            self._overhead(out)
+
+        return self._finalize(out)
+
+    # ------------------------------------------------------------------
+
+    def _emit_group(
+        self,
+        out: Trace,
+        combine_pool: RegRotator,
+        scratch: TileReg,
+        vertical_tile: TileReg,
+        i_base: int,
+        g0: int,
+        j: int,
+    ) -> None:
+        """Horizontal taps + combine for rows ``i_base+g0 .. +3``."""
+        i0 = i_base + g0
+        out.append(ZERO_TILE(scratch))
+
+        # Aligned banks for the four rows (left / center / right).
+        need_left = any(s < 0 for s in self._h_shifts)
+        need_right = any(s > 0 for s in self._h_shifts)
+        for k in range(_GROUP):
+            out.append(LD1D(VReg(_CENTER_REGS[k]), self.src.addr(i0 + k, j)))
+            if need_left:
+                out.append(LD1D(VReg(_LEFT_REGS[k]), self.src.addr(i0 + k, j - SVL_LANES)))
+            if need_right:
+                out.append(LD1D(VReg(_RIGHT_REGS[k]), self.src.addr(i0 + k, j + SVL_LANES)))
+
+        if self.options.prefetch:
+            out.append(PRFM(self.dst.addr(i0, j), write=True))
+
+        for t, s in enumerate(self._h_shifts):
+            # Build the shifted vector group in the consecutive window.
+            for k in range(_GROUP):
+                dst = VReg(_GROUP_BASE + k)
+                if s > 0:
+                    out.append(EXT(dst, VReg(_CENTER_REGS[k]), VReg(_RIGHT_REGS[k]), s))
+                else:
+                    out.append(
+                        EXT(dst, VReg(_LEFT_REGS[k]), VReg(_CENTER_REGS[k]), SVL_LANES + s)
+                    )
+            out.append(FMLA_M(scratch, VReg(_GROUP_BASE), COEF_H_REG, t))
+
+        # Multi-stage combine (Section 3.1.1's workflow, forced by the
+        # fragmented M-MLA layout): slice both partial sums out of the
+        # tiles with slow MOVAs, aggregate, write back.
+        for k in range(_GROUP):
+            horiz = combine_pool.take()
+            out.append(MOVA_TILE_TO_VEC(horiz, scratch, 2 * k))
+            vert = combine_pool.take()
+            out.append(MOVA_TILE_TO_VEC(vert, vertical_tile, g0 + k))
+            out.append(FADD_V(horiz, horiz, vert))
+            out.append(ST1D(horiz, self.dst.addr(i0 + k, j)))

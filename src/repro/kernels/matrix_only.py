@@ -1,0 +1,163 @@
+"""STOP: the outer-axis outer-product kernel (``Matrix-only`` in Table 6).
+
+Implements the state-of-the-art method HStencil improves on, from the
+paper's own description (Section 2.2, Equations 3/4, Figure 5):
+
+* scatter form — every input row is broadcast against a sliding coefficient
+  column and accumulated into the output tile with one FMOPA per
+  horizontal shift;
+* multi-register tiles along ``j`` (Figure 9's data tiling) so at least
+  four independent outer products are in flight;
+* shifted operands come from EXT concatenation of the aligned row loads
+  (STOP descends from the vector-outer-product line of work and reuses
+  loaded data; Table 5's "40 / 0" matrix/vector split counts *compute*
+  cycles — EXT is a permute).  No MLA-rollback balancing, no instruction
+  scheduling beyond the compiler's loop body, and no software prefetch —
+  exactly what Figures 13/15 charge against it;
+* stores are deferred to the end of each block (the contiguous up-to-512
+  doubles burst Section 3.2.2 criticizes);
+* band-major traversal (Algorithm 2's ``for i: for j``) whose ~``2r + 16``
+  concurrent row streams overwhelm the hardware stream prefetcher and
+  produce the low, size-degrading out-of-cache L1 hit rates of Table 3.
+
+The sparse sliding coefficient vectors give star stencils their poor
+single-register matrix utilization (Table 1), measured here through the
+``rows``/``useful_cols`` accounting on every FMOPA.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.isa.instructions import EXT, FMOPA, LD1D, ST1D_SLICE, ZERO_TILE
+from repro.isa.program import KernelBlock, LoopNest, Trace
+from repro.isa.registers import SVL_LANES, TileReg
+from repro.kernels.base import (
+    GroupedTrace,
+    CV_POOL,
+    KernelOptions,
+    RegRotator,
+    StencilKernelBase,
+    rows_for_placement,
+    sliding_vectors,
+)
+
+#: Aligned data vectors (w + 2 live through one (d, dz) iteration).
+_ALIGNED_REGS = tuple(range(0, 10))
+#: EXT results (one-FMOPA live ranges).
+_SHIFT_REGS = tuple(range(10, 16))
+
+
+class MatrixOnlyKernel(StencilKernelBase):
+    """Outer-axis outer-product stencil (the STOP baseline)."""
+
+    method = "matrix-only"
+    traversal = "panel"
+    supports_3d = True
+
+    def __init__(self, spec, src, dst, config, options: Optional[KernelOptions] = None) -> None:
+        options = options or KernelOptions()
+        super().__init__(spec, src, dst, config, options)
+        w = self.options.unroll_j
+        if not 1 <= w <= 8:
+            raise ValueError(f"unroll_j must be in [1, 8], got {w}")
+        self._require_divisible(SVL_LANES * w, rows_multiple=SVL_LANES)
+        r = spec.radius
+        # Sliding coefficient tables, one per (dz, shift) with any nonzero.
+        self._cv_tables: Dict[Tuple[int, int], int] = {}
+        self._cv_rows: Dict[Tuple[int, int, int], Tuple[int, ...]] = {}
+        self._cv_cols: Dict[Tuple[int, int], np.ndarray] = {}
+        for dz in spec.plane_offsets():
+            for s in spec.nonzero_shifts(dz):
+                col = spec.column(s, dz=dz)
+                self._cv_cols[(dz, s)] = col
+                table = sliding_vectors(col, r)
+                self._cv_tables[(dz, s)] = self._write_rodata(table, f"cv_dz{dz}_s{s}")
+                for d in range(-r, SVL_LANES + r):
+                    self._cv_rows[(dz, s, d)] = rows_for_placement(col, r, d)
+
+    # ------------------------------------------------------------------
+
+    def preamble(self) -> Trace:
+        return Trace()
+
+    def loop_nest(self) -> LoopNest:
+        return self._band_nest(SVL_LANES * self.options.unroll_j)
+
+    def emit(self, block: KernelBlock) -> Trace:
+        if self.spec.ndim == 2:
+            ib, jp = block.key
+            z = None
+        else:
+            z, ib, jp = block.key
+        w = self.options.unroll_j
+        r = self.spec.radius
+        i_base = ib * SVL_LANES
+        j_base = jp * SVL_LANES * w
+        out = GroupedTrace()
+        aligned_pool = RegRotator(_ALIGNED_REGS)
+        shift_pool = RegRotator(_SHIFT_REGS)
+        cv_pool = RegRotator(CV_POOL)
+        tiles = [TileReg(u) for u in range(w)]
+
+        for tile in tiles:
+            out.append(ZERO_TILE(tile))
+
+        for d in range(-r, SVL_LANES + r):
+            i0 = i_base + d
+            for dz in self.spec.plane_offsets():
+                src_z = None if z is None else z + dz
+                shifts = [
+                    s for s in self.spec.nonzero_shifts(dz) if self._cv_rows[(dz, s, d)]
+                ]
+                if not shifts:
+                    continue
+                need_ext = any(s != 0 for s in shifts)
+                # Aligned loads, plus left/right neighbours for EXT reuse.
+                aligned = {}
+                lo = -1 if need_ext else 0
+                hi = w + 1 if need_ext else w
+                for u in range(lo, hi):
+                    reg = aligned_pool.take()
+                    out.append(
+                        LD1D(reg, self._addr(self.src, i0, j_base + u * SVL_LANES, src_z))
+                    )
+                    aligned[u] = reg
+                for s in shifts:
+                    rows = self._cv_rows[(dz, s, d)]
+                    cv = cv_pool.take()
+                    out.append(LD1D(cv, self._cv_addr(dz, s, d)))
+                    for u in range(w):
+                        if s == 0:
+                            operand = aligned[u]
+                        elif s > 0:
+                            operand = shift_pool.take()
+                            out.append(EXT(operand, aligned[u], aligned[u + 1], s))
+                        else:
+                            operand = shift_pool.take()
+                            out.append(
+                                EXT(operand, aligned[u - 1], aligned[u], SVL_LANES + s)
+                            )
+                        out.append(FMOPA(tiles[u], cv, operand, rows=rows))
+            self._overhead(out)
+
+        # Deferred stores: the whole block's 8 x (8*w) output burst at once.
+        for m in range(SVL_LANES):
+            for u in range(w):
+                out.append(
+                    ST1D_SLICE(
+                        tiles[u],
+                        m,
+                        self._addr(self.dst, i_base + m, j_base + u * SVL_LANES, z),
+                    )
+                )
+        return self._finalize(out)
+
+    # ------------------------------------------------------------------
+
+    def _cv_addr(self, dz: int, s: int, d: int) -> int:
+        """Address of the sliding coefficient vector for placement ``d``."""
+        base = self._cv_tables[(dz, s)]
+        return base + (d + self.spec.radius) * SVL_LANES

@@ -1,0 +1,139 @@
+"""Outer + inner axis outer-product kernel (``Mat-ortho`` in Figure 13).
+
+The utilization-preserving alternative for star stencils that Section 2.3.1
+describes and Figure 13a shows losing to auto-vectorization: the sparse
+vertical column is handled by outer-axis outer products (like STOP), and
+the horizontal taps are handled by *inner-axis* outer products — input
+**columns** gathered with strided loads, scattered across output columns
+with a sliding horizontal coefficient vector.
+
+Matrix-register utilization recovers to box level (both axes now fill the
+tile, Table 1 row 3), but each inner-axis operand is an 8-element gather
+striding a full grid row per lane: the strided loads are slow, touch eight
+cache lines each, and defeat the hardware prefetcher entirely.  That trade
+is the reason HStencil moves the horizontal work to the vector unit
+instead.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.isa.instructions import FMOPA, LD1D, LD1D_STRIDED, ST1D_SLICE, ZERO_TILE
+from repro.isa.program import KernelBlock, LoopNest, Trace
+from repro.isa.registers import SVL_LANES, TileReg
+from repro.kernels.base import (
+    GroupedTrace,
+    CV_POOL,
+    KernelOptions,
+    RegRotator,
+    StencilKernelBase,
+    rows_for_placement,
+    sliding_vectors,
+)
+
+_ALIGNED_REGS = tuple(range(0, 6))
+_COLUMN_REGS = tuple(range(6, 16))
+
+
+class MatrixOrthoKernel(StencilKernelBase):
+    """Hybrid outer/inner-axis outer-product kernel (2D star)."""
+
+    method = "mat-ortho"
+    traversal = "panel"
+    supports_3d = False
+
+    def __init__(self, spec, src, dst, config, options: Optional[KernelOptions] = None) -> None:
+        options = options or KernelOptions()
+        super().__init__(spec, src, dst, config, options)
+        if spec.pattern != "star":
+            raise ValueError(
+                f"{self.method}: the outer+inner axis split only covers the "
+                "axis taps of star stencils (box corners need the full "
+                "outer-axis scatter of matrix-only)"
+            )
+        w = self.options.unroll_j
+        if not 1 <= w <= 8:
+            raise ValueError(f"unroll_j must be in [1, 8], got {w}")
+        self._require_divisible(SVL_LANES * w, rows_multiple=SVL_LANES)
+        r = spec.radius
+        # Outer-axis: the s = 0 vertical column.
+        vcol = spec.vertical_coeffs()
+        self._v_table = self._write_rodata(sliding_vectors(vcol, r), "cv_vertical")
+        self._v_rows = {
+            d: rows_for_placement(vcol, r, d) for d in range(-r, SVL_LANES + r)
+        }
+        # Inner-axis: the horizontal off-axis coefficients, sliding along
+        # output columns.
+        hrow = spec.horizontal_offaxis_coeffs()
+        self._h_table = self._write_rodata(sliding_vectors(hrow, r), "cv_horizontal")
+        self._h_cols = {
+            d: rows_for_placement(hrow, r, d) for d in range(-r, SVL_LANES + r)
+        }
+
+    # ------------------------------------------------------------------
+
+    def preamble(self) -> Trace:
+        return Trace()
+
+    def loop_nest(self) -> LoopNest:
+        return self._band_nest(SVL_LANES * self.options.unroll_j)
+
+    def emit(self, block: KernelBlock) -> Trace:
+        ib, jp = block.key
+        w = self.options.unroll_j
+        r = self.spec.radius
+        i_base = ib * SVL_LANES
+        j_base = jp * SVL_LANES * w
+        out = GroupedTrace()
+        aligned_pool = RegRotator(_ALIGNED_REGS)
+        column_pool = RegRotator(_COLUMN_REGS)
+        cv_pool = RegRotator(CV_POOL)
+        tiles = [TileReg(u) for u in range(w)]
+        row_stride = self.src.row_stride
+
+        for tile in tiles:
+            out.append(ZERO_TILE(tile))
+
+        # Outer-axis pass: vertical column per input row.
+        for d in range(-r, SVL_LANES + r):
+            i0 = i_base + d
+            rows = self._v_rows[d]
+            if not rows:
+                continue
+            cv = cv_pool.take()
+            out.append(LD1D(cv, self._v_table + (d + r) * SVL_LANES))
+            for u in range(w):
+                reg = aligned_pool.take()
+                out.append(LD1D(reg, self.src.addr(i0, j_base + u * SVL_LANES)))
+                out.append(FMOPA(tiles[u], cv, reg, rows=rows))
+            self._overhead(out)
+
+        # Inner-axis pass: strided column gathers, sliding along columns.
+        for d in range(-r, SVL_LANES + r):
+            cols = self._h_cols[d]
+            if not cols:
+                continue
+            cv = cv_pool.take()
+            out.append(LD1D(cv, self._h_table + (d + r) * SVL_LANES))
+            for u in range(w):
+                j0 = j_base + u * SVL_LANES + d
+                col_reg = column_pool.take()
+                out.append(
+                    LD1D_STRIDED(col_reg, self.src.addr(i_base, j0), stride=row_stride)
+                )
+                out.append(
+                    FMOPA(tiles[u], col_reg, cv, rows=tuple(range(SVL_LANES)), useful_cols=cols)
+                )
+            self._overhead(out)
+
+        for m in range(SVL_LANES):
+            for u in range(w):
+                out.append(
+                    ST1D_SLICE(
+                        tiles[u], m, self.dst.addr(i_base + m, j_base + u * SVL_LANES)
+                    )
+                )
+        return self._finalize(out)

@@ -1,0 +1,151 @@
+"""Naive matrix-vector method (Figure 7): independent passes + round trip.
+
+The first hybrid design of Section 3.1.1, kept as a comparison point and as
+the accumulation structure the Apple-M4 kernel is forced back to:
+
+* **pass 1 (matrix)** — outer-axis outer products for the vertical axis,
+  intermediate tile stored to the output array;
+* **pass 2 (vector)** — horizontal MLA partial sums, then *reload* the
+  intermediate row, FADD, and store again.
+
+Per output row this costs three loads and two stores (Equation 7) versus
+the in-place kernel's two loads and one store (Equation 8), and the matrix
+and vector passes cannot overlap — both measurable with the timing engine.
+
+Star 2D only: the naive split has no meaning for box stencils (there is no
+vector compute part) and the paper uses it for the star discussion.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.isa.instructions import (
+    FADD_V,
+    FMLA_IDX,
+    FMOPA,
+    FMUL_IDX,
+    LD1D,
+    SET_LANES,
+    ST1D,
+    ST1D_SLICE,
+    ZERO_TILE,
+)
+from repro.isa.program import KernelBlock, LoopNest, Trace
+from repro.isa.registers import SVL_LANES, TileReg
+from repro.kernels.base import (
+    GroupedTrace,
+    COEF_H_REG,
+    CV_POOL,
+    KernelOptions,
+    RegRotator,
+    StencilKernelBase,
+    rows_for_placement,
+    sliding_vectors,
+)
+
+_ALIGNED_REGS = tuple(range(0, 10))
+_SHIFT_REGS = tuple(range(10, 14))
+_VACC_REGS = (14, 15)
+
+
+class NaiveHybridKernel(StencilKernelBase):
+    """Naive (non-overlapping) matrix-vector stencil kernel."""
+
+    method = "hstencil-naive"
+    traversal = "panel"
+    supports_3d = False
+
+    def __init__(self, spec, src, dst, config, options: Optional[KernelOptions] = None) -> None:
+        options = options or KernelOptions()
+        super().__init__(spec, src, dst, config, options)
+        if spec.pattern != "star":
+            raise ValueError(f"{self.method} is defined for star stencils only")
+        if not config.has_vector_fmla:
+            raise ValueError(f"{config.name} has no vector FMLA; use hstencil-m4")
+        w = self.options.unroll_j
+        if not 1 <= w <= 8:
+            raise ValueError(f"unroll_j must be in [1, 8], got {w}")
+        self._require_divisible(SVL_LANES * w, rows_multiple=SVL_LANES)
+        r = spec.radius
+        vcol = spec.vertical_coeffs()
+        self._v_table = self._write_rodata(sliding_vectors(vcol, r), "cv_vertical")
+        self._v_rows = {
+            d: rows_for_placement(vcol, r, d) for d in range(-r, SVL_LANES + r)
+        }
+        hrow = spec.horizontal_offaxis_coeffs()
+        self._h_shifts = [s for s in range(-r, r + 1) if s != 0 and hrow[s + r] != 0.0]
+        coefs = [hrow[s + r] for s in self._h_shifts]
+        while len(coefs) < SVL_LANES:
+            coefs.append(0.0)
+        if len(coefs) > SVL_LANES:
+            raise ValueError(f"{self.method}: too many horizontal taps")
+        self._hcoef_values = tuple(coefs)
+
+    # ------------------------------------------------------------------
+
+    def preamble(self) -> Trace:
+        out = Trace()
+        out.append(SET_LANES(COEF_H_REG, self._hcoef_values))
+        return out
+
+    def loop_nest(self) -> LoopNest:
+        return self._band_nest(SVL_LANES * self.options.unroll_j)
+
+    def emit(self, block: KernelBlock) -> Trace:
+        ib, jp = block.key
+        w = self.options.unroll_j
+        r = self.spec.radius
+        i_base = ib * SVL_LANES
+        j_base = jp * SVL_LANES * w
+        out = GroupedTrace()
+        aligned_pool = RegRotator(_ALIGNED_REGS)
+        shift_pool = RegRotator(_SHIFT_REGS)
+        vacc_pool = RegRotator(_VACC_REGS)
+        cv_pool = RegRotator(CV_POOL)
+        tiles = [TileReg(u) for u in range(w)]
+
+        # ---- pass 1: matrix-only vertical axis, intermediate stored ----
+        for tile in tiles:
+            out.append(ZERO_TILE(tile))
+        for d in range(-r, SVL_LANES + r):
+            i0 = i_base + d
+            rows = self._v_rows[d]
+            if not rows:
+                continue
+            cv = cv_pool.take()
+            out.append(LD1D(cv, self._v_table + (d + r) * SVL_LANES))
+            for u in range(w):
+                reg = aligned_pool.take()
+                out.append(LD1D(reg, self.src.addr(i0, j_base + u * SVL_LANES)))
+                out.append(FMOPA(tiles[u], cv, reg, rows=rows))
+            self._overhead(out)
+        for m in range(SVL_LANES):
+            for u in range(w):
+                out.append(
+                    ST1D_SLICE(tiles[u], m, self.dst.addr(i_base + m, j_base + u * SVL_LANES))
+                )
+
+        # ---- pass 2: vector horizontal axis + accumulation round trip ----
+        for m in range(SVL_LANES):
+            i = i_base + m
+            for u in range(w):
+                j = j_base + u * SVL_LANES
+                vacc = vacc_pool.take()
+                first = True
+                for t, s in enumerate(self._h_shifts):
+                    reg = shift_pool.take()
+                    out.append(LD1D(reg, self.src.addr(i, j + s)))
+                    if first:
+                        out.append(FMUL_IDX(vacc, reg, COEF_H_REG, t))
+                        first = False
+                    else:
+                        out.append(FMLA_IDX(vacc, reg, COEF_H_REG, t))
+                # The accumulation overhead of Equation 5/7: reload the
+                # intermediate, add, store back.
+                inter = aligned_pool.take()
+                out.append(LD1D(inter, self.dst.addr(i, j)))
+                out.append(FADD_V(vacc, vacc, inter))
+                out.append(ST1D(vacc, self.dst.addr(i, j)))
+            self._overhead(out)
+        return self._finalize(out)

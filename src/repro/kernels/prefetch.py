@@ -1,0 +1,61 @@
+"""Spatial-prefetch helpers (Section 3.3 / Algorithm 3).
+
+The prefetch *policy* lives inside the kernels (the generators know the
+upcoming addresses); this module holds the shared mechanics plus analysis
+utilities the benches and tests use:
+
+* :func:`row_prefetches` — PRFM instructions covering one grid-row segment
+  at cache-line granularity;
+* :func:`count_prefetches` / :func:`prefetch_coverage` — trace inspection
+  used by Table 7 and the prefetch ablations.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Set, Tuple
+
+from repro.isa.instructions import Instruction, LD1D, PRFM
+from repro.isa.registers import SVL_LANES
+
+
+def row_prefetches(addr: int, nwords: int, write: bool = False, level: int = 1) -> List[PRFM]:
+    """PRFMs covering ``nwords`` words from ``addr``, one per vector span."""
+    out: List[PRFM] = []
+    for off in range(0, nwords, SVL_LANES):
+        out.append(
+            PRFM(addr + off, level=level, write=write, length=min(SVL_LANES, nwords - off))
+        )
+    return out
+
+
+def count_prefetches(trace: Sequence[Instruction]) -> Tuple[int, int]:
+    """``(read_prefetches, write_prefetches)`` in a trace."""
+    reads = sum(1 for ins in trace if isinstance(ins, PRFM) and not ins.write)
+    writes = sum(1 for ins in trace if isinstance(ins, PRFM) and ins.write)
+    return reads, writes
+
+
+def prefetch_coverage(trace: Sequence[Instruction], line_words: int = 8) -> float:
+    """Fraction of demand-load lines that some earlier PRFM covered.
+
+    A diagnostic for prefetch placement: 1.0 means every demanded line was
+    hinted beforehand (whether the hint arrived in time is what the timing
+    engine measures).
+    """
+    hinted: Set[int] = set()
+    covered = 0
+    total = 0
+    for ins in trace:
+        if isinstance(ins, PRFM):
+            first = ins.addr // line_words
+            last = (ins.addr + ins.length - 1) // line_words
+            hinted.update(range(first, last + 1))
+        elif isinstance(ins, LD1D):
+            for addr, n in ins.mem_reads():
+                first = addr // line_words
+                last = (addr + n - 1) // line_words
+                for line in range(first, last + 1):
+                    total += 1
+                    if line in hinted:
+                        covered += 1
+    return covered / total if total else 0.0

@@ -1,0 +1,85 @@
+"""Method registry: name -> kernel factory (Table 6 plus breakdown points).
+
+``make_kernel(method, spec, src, dst, config, options)`` is the single
+entry point the HStencil facade, the bench harness and the tests use.  The
+registry also encodes the evaluation's configuration conventions:
+
+* ``hstencil`` enables scheduling + replacement balancing (the full
+  in-cache configuration of Figures 12-14);
+* ``hstencil-nosched`` is the Figure 13 ablation point (hybrid kernel, no
+  instruction scheduling);
+* ``hstencil-prefetch`` adds spatial prefetch (the out-of-cache
+  configuration of Figure 15 / Table 7);
+* on machines without vector FMLA (the M4 preset), star stencils are
+  transparently routed to the M-MLA kernel, reproducing Section 4's
+  portability story.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.isa.program import Kernel
+from repro.kernels.autovec import AutoVectorKernel
+from repro.kernels.base import KernelOptions
+from repro.kernels.inplace_hybrid import InplaceHybridKernel
+from repro.kernels.m4 import M4HybridKernel
+from repro.kernels.matrix_only import MatrixOnlyKernel
+from repro.kernels.matrix_ortho import MatrixOrthoKernel
+from repro.kernels.naive_hybrid import NaiveHybridKernel
+from repro.kernels.vector_only import VectorOnlyKernel
+from repro.machine.config import MachineConfig
+from repro.stencils.spec import StencilSpec
+
+
+def _hybrid(spec, src, dst, config, options: KernelOptions) -> Kernel:
+    """Route the hybrid kernel to the platform-appropriate implementation."""
+    if spec.pattern == "star" and not config.has_vector_fmla:
+        kernel = M4HybridKernel(spec, src, dst, config, options)
+        return kernel
+    return InplaceHybridKernel(spec, src, dst, config, options)
+
+
+def _make(base_options: Dict) -> Callable:
+    def factory(spec, src, dst, config, options: Optional[KernelOptions] = None) -> Kernel:
+        opts = (options or KernelOptions()).with_(**base_options)
+        return _hybrid(spec, src, dst, config, opts)
+
+    return factory
+
+
+def _simple(cls) -> Callable:
+    def factory(spec, src, dst, config, options: Optional[KernelOptions] = None) -> Kernel:
+        return cls(spec, src, dst, config, options or KernelOptions())
+
+    return factory
+
+
+#: method name -> factory(spec, src, dst, config, options) -> Kernel
+METHODS: Dict[str, Callable] = {
+    "auto": _simple(AutoVectorKernel),
+    "vector-only": _simple(VectorOnlyKernel),
+    "matrix-only": _simple(MatrixOnlyKernel),
+    "mat-ortho": _simple(MatrixOrthoKernel),
+    "hstencil-naive": _simple(NaiveHybridKernel),
+    "hstencil-nosched": _make({"scheduled": False, "prefetch": False}),
+    "hstencil": _make({"scheduled": True, "prefetch": False}),
+    "hstencil-prefetch": _make({"scheduled": True, "prefetch": True}),
+    "hstencil-noprefetch": _make({"scheduled": True, "prefetch": False}),
+}
+
+
+def make_kernel(
+    method: str,
+    spec: StencilSpec,
+    src,
+    dst,
+    config: MachineConfig,
+    options: Optional[KernelOptions] = None,
+) -> Kernel:
+    """Build a kernel for a named method; raises KeyError for unknown names."""
+    if method not in METHODS:
+        raise KeyError(f"unknown method {method!r}; known: {sorted(METHODS)}")
+    kernel = METHODS[method](spec, src, dst, config, options)
+    kernel.name = method
+    return kernel

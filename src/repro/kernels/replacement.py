@@ -1,0 +1,195 @@
+"""Vector-instruction replacement planning (Section 3.2.1).
+
+The hybrid kernel has freedom in two places:
+
+* **MLA rollback** — a horizontal star tap can be computed either by the
+  vector unit (FMLA into the row partial sum) or rolled back to the matrix
+  unit (an extra FMOPA with a single-live-row sliding coefficient vector).
+  All-vector leaves the matrix unit idle; all-matrix recreates STOP's
+  utilization problem.
+* **EXT vs load** — each shifted operand can be synthesized with EXT (a
+  vector-pipe instruction, contending with FMLA) or fetched with an
+  unaligned load (a load-pipe instruction that hits L1).
+
+``plan_replacement`` enumerates both knobs and picks the assignment that
+minimizes the bottleneck pipe's cycles per block, using the machine's port
+counts — a faithful, automated version of the paper's hand balancing
+("we alter some of the EXT instructions back to load instructions, thereby
+balancing more of the pipeline").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.isa.instructions import PortClass
+from repro.isa.registers import SVL_LANES
+from repro.kernels.base import KernelOptions
+from repro.machine.config import MachineConfig
+from repro.stencils.spec import StencilSpec
+
+
+@dataclass(frozen=True)
+class ReplacementPlan:
+    """Outcome of pipeline balancing for one (spec, machine, options)."""
+
+    #: Horizontal star taps computed on the vector unit (shifts).
+    vector_shifts: Tuple[int, ...]
+    #: Horizontal taps rolled back to single-row outer products (shifts).
+    rollback_shifts: Tuple[int, ...]
+    #: Shifted operands synthesized by EXT concatenation (shifts).
+    ext_shifts: Tuple[int, ...]
+    #: Shifted operands fetched with unaligned loads (shifts).
+    load_shifts: Tuple[int, ...]
+    #: Estimated bottleneck cycles per block for the chosen plan.
+    est_cycles: float
+    #: Estimated per-pipe cycles per block (diagnostics / tests).
+    pipe_cycles: Dict[str, float]
+
+    @property
+    def n_rollback(self) -> int:
+        return len(self.rollback_shifts)
+
+    @property
+    def n_ext_to_load(self) -> int:
+        return len(self.load_shifts)
+
+
+def _estimate(
+    spec: StencilSpec,
+    config: MachineConfig,
+    options: KernelOptions,
+    n_rollback: int,
+    n_load: int,
+    hybrid_star: bool,
+) -> Tuple[float, Dict[str, float]]:
+    """Pipe cycles per block for a candidate (rollback, ext->load) split."""
+    r = spec.radius
+    w = options.unroll_j
+    d_total = SVL_LANES + 2 * r  # input-row iterations per block
+    d_inner = SVL_LANES  # iterations with a vector part
+    planes = len(spec.plane_offsets())
+
+    if hybrid_star:
+        h_shifts = [s for s in spec.nonzero_shifts(0) if s != 0]
+        n_shift = len(h_shifts)
+        n_vec = n_shift - n_rollback
+        matrix_per_d_all = planes * w  # vertical FMOPA per plane per tile
+        matrix_per_d_inner = w * (n_rollback + (1 if n_vec > 0 else 0))
+        vector_per_d_inner = w * ((n_shift - n_load) + n_vec)
+        loads_per_d_all = planes * w + planes  # aligned + cv loads
+        loads_per_d_inner = w * n_load + n_rollback + (2 if (n_shift - n_load) > 0 else 0)
+    else:
+        # Box hybrid: every shift on the matrix unit; knob = EXT vs load.
+        shifts = [s for dz in spec.plane_offsets() for s in spec.nonzero_shifts(dz)]
+        n_shift = len([s for s in shifts if s != 0])
+        if n_rollback:  # meaningless for box
+            return float("inf"), {}
+        matrix_per_d_all = w * len(shifts)
+        matrix_per_d_inner = 0.0
+        vector_per_d_inner = 0.0
+        vector_per_d_all = w * (n_shift - n_load)
+        loads_per_d_all = (
+            planes * w + len(shifts) + w * n_load + (2 if (n_shift - n_load) > 0 else 0)
+        )
+        loads_per_d_inner = 0.0
+
+    store_per_block = SVL_LANES * w
+    if options.prefetch:
+        loads_per_d_all += 2 * w  # PRFM for A's next row and B's dest row
+
+    v_ops = d_inner * vector_per_d_inner
+    if not hybrid_star:
+        v_ops = d_total * vector_per_d_all
+    m_ops = d_total * matrix_per_d_all + d_inner * matrix_per_d_inner
+    l_ops = d_total * loads_per_d_all + d_inner * loads_per_d_inner
+    s_ops = store_per_block
+
+    pipes = {
+        "V": v_ops / max(config.port_count(PortClass.VECTOR), 1),
+        "M": m_ops / max(config.port_count(PortClass.MATRIX), 1),
+        "L": l_ops / max(config.port_count(PortClass.LOAD), 1),
+        "S": s_ops / max(config.port_count(PortClass.STORE), 1),
+    }
+    return max(pipes.values()), pipes
+
+
+def plan_replacement(
+    spec: StencilSpec,
+    config: MachineConfig,
+    options: Optional[KernelOptions] = None,
+) -> ReplacementPlan:
+    """Choose the MLA-rollback / EXT->load split for the hybrid kernel.
+
+    Honors explicit ``options.mla_rollback`` / ``options.ext_to_load``
+    overrides; otherwise enumerates all feasible splits and keeps the one
+    with the lowest bottleneck estimate (ties: fewer rollbacks, fewer load
+    conversions — i.e. the least-intrusive plan).
+    """
+    options = options or KernelOptions()
+    hybrid_star = spec.pattern == "star"
+    h_shifts = sorted(
+        (s for s in spec.nonzero_shifts(0) if s != 0), key=lambda s: (-abs(s), s)
+    )
+    n_shift = len(h_shifts)
+
+    rollback_range = range(n_shift + 1) if hybrid_star else (0,)
+    if (
+        options.mla_rollback is None
+        and hybrid_star
+        and spec.radius == 1
+        and options.prefetch
+    ):
+        # Empirical default (see bench_ablation_replacement): for radius-1
+        # stars on out-of-cache grids the two-tap MLA chain serializes on
+        # missed operands faster than prefetch can cover — rolling both
+        # taps back to single-row outer products is ~2.5x faster, while
+        # in-cache the vector path wins.  Radius >= 2 prefers the vector
+        # path everywhere.
+        rollback_range = (n_shift,)
+    if options.mla_rollback is not None:
+        if not 0 <= options.mla_rollback <= n_shift:
+            raise ValueError(f"mla_rollback must be in [0, {n_shift}]")
+        rollback_range = (options.mla_rollback,)
+    load_range = range(n_shift + 1)
+    if options.ext_to_load is not None:
+        if not 0 <= options.ext_to_load <= n_shift:
+            raise ValueError(f"ext_to_load must be in [0, {n_shift}]")
+        load_range = (options.ext_to_load,)
+    if not options.ext_reuse:
+        load_range = (n_shift,)
+
+    best: Optional[Tuple[float, int, int, Dict[str, float]]] = None
+    for n_rb in rollback_range:
+        for n_ld in load_range:
+            est, pipes = _estimate(spec, config, options, n_rb, n_ld, hybrid_star)
+            key = (est, n_rb, n_ld)
+            if best is None or key < (best[0], best[1], best[2]):
+                best = (est, n_rb, n_ld, pipes)
+    assert best is not None
+    est, n_rb, n_ld, pipes = best
+
+    rollback = tuple(h_shifts[:n_rb]) if hybrid_star else ()
+    vector = tuple(s for s in h_shifts if s not in rollback) if hybrid_star else ()
+    # Far shifts are converted to loads first (they need the widest EXT).
+    if hybrid_star:
+        shift_universe = h_shifts
+    else:
+        shift_universe = sorted(
+            {s for dz in spec.plane_offsets() for s in spec.nonzero_shifts(dz) if s != 0},
+            key=lambda s: (-abs(s), s),
+        )
+        n_ld = min(n_ld, len(shift_universe))
+    loads = tuple(shift_universe[:n_ld])
+    exts = tuple(s for s in shift_universe if s not in loads)
+    return ReplacementPlan(
+        vector_shifts=vector,
+        rollback_shifts=rollback,
+        ext_shifts=exts,
+        load_shifts=loads,
+        est_cycles=est,
+        pipe_cycles=pipes,
+    )

@@ -1,0 +1,158 @@
+"""Expert-optimized vector kernel (``Vector-only`` in Table 6).
+
+The gather form of Figure 4a, hand-tuned the way the DLT / temporal-
+vectorization line of work writes it.  The structural win over compiler
+auto-vectorization is **cross-row load reuse**: four output rows are
+produced per iteration, so the ``2r + 4`` contributing input rows are
+loaded once per group instead of once per output row — the load count per
+point drops several-fold versus the gather baseline.  Each output row
+keeps two independent FMA chains (folded by FADD); shifted operands come
+from unaligned loads, which hit the lines the aligned loads just touched.
+
+Row-major traversal keeps the access pattern within the hardware stream
+prefetcher's capacity, which is why this method's L1 hit rates stay high
+out of cache (Table 3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.isa.instructions import (
+    FADD_V,
+    FMLA_IDX,
+    FMUL_IDX,
+    LD1D,
+    SET_LANES,
+    ST1D,
+)
+from repro.isa.program import KernelBlock, LoopNest, Trace
+from repro.isa.registers import SVL_LANES, VReg
+from repro.kernels.base import GroupedTrace, RegRotator, StencilKernelBase
+
+#: Aligned row vectors, one per contributing input row of the row group.
+_ROW_REGS = tuple(range(0, 12))
+#: Accumulators: 4 output rows x 2 chains.
+_ACC_REGS = tuple(range(12, 20))
+#: Coefficient broadcast registers (up to 64 taps).
+_COEF_REGS = tuple(range(20, 28))
+#: Shifted-operand loads (one-FMA live ranges).
+_SHIFT_REGS = tuple(range(28, 32))
+
+#: Output rows produced per iteration (cross-row reuse factor).
+_I_UNROLL = 4
+
+
+class VectorOnlyKernel(StencilKernelBase):
+    """Hand-optimized gather-form vector kernel with cross-row reuse."""
+
+    method = "vector-only"
+    traversal = "row"
+    supports_3d = True
+
+    def __init__(self, spec, src, dst, config, options=None) -> None:
+        super().__init__(spec, src, dst, config, options)
+        if not config.has_vector_fmla:
+            raise ValueError(
+                f"{config.name} has no vector-FMLA capability; use the M4 kernels"
+            )
+        self._require_divisible(SVL_LANES, rows_multiple=_I_UNROLL)
+        if 2 * spec.radius + _I_UNROLL > len(_ROW_REGS):
+            raise ValueError(
+                f"{self.method}: radius {spec.radius} exceeds the row-register file"
+            )
+        self._taps = list(spec.taps())
+        max_taps = len(_COEF_REGS) * SVL_LANES
+        if len(self._taps) > max_taps:
+            raise ValueError(f"{self.method}: too many taps ({len(self._taps)})")
+        # Taps grouped per plane: {dz: [(di, dj, tap_index)]}.
+        self._per_plane: Dict[int, List[Tuple[int, int, int]]] = {}
+        for t, (dz, di, dj, _c) in enumerate(self._taps):
+            self._per_plane.setdefault(dz, []).append((di, dj, t))
+
+    # ------------------------------------------------------------------
+
+    def preamble(self) -> Trace:
+        out = Trace()
+        values = [c for (_, _, _, c) in self._taps]
+        while len(values) % SVL_LANES:
+            values.append(0.0)
+        for r, start in enumerate(range(0, len(values), SVL_LANES)):
+            out.append(
+                SET_LANES(VReg(_COEF_REGS[r]), tuple(values[start : start + SVL_LANES]))
+            )
+        return out
+
+    def loop_nest(self) -> LoopNest:
+        """One block per group of four output rows."""
+        rows, cols = self.src.rows, self.src.cols
+        blocks: List[KernelBlock] = []
+        if self.spec.ndim == 2:
+            for ig in range(rows // _I_UNROLL):
+                blocks.append(KernelBlock(key=(ig,), points=_I_UNROLL * cols))
+            return LoopNest(shape=(rows // _I_UNROLL,), blocks=blocks)
+        depth = self.src.depth  # type: ignore[union-attr]
+        for z in range(depth):
+            for ig in range(rows // _I_UNROLL):
+                blocks.append(KernelBlock(key=(z, ig), points=_I_UNROLL * cols))
+        return LoopNest(shape=(depth, rows // _I_UNROLL), blocks=blocks)
+
+    def emit(self, block: KernelBlock) -> Trace:
+        if self.spec.ndim == 2:
+            (ig,) = block.key
+            z = None
+        else:
+            z, ig = block.key
+        i_base = ig * _I_UNROLL
+        out = GroupedTrace()
+        shift_pool = RegRotator(_SHIFT_REGS)
+        cols = self.src.cols
+
+        for j in range(0, cols, SVL_LANES):
+            # Two FMA chains per output row.
+            acc = [
+                (VReg(_ACC_REGS[2 * m]), VReg(_ACC_REGS[2 * m + 1]))
+                for m in range(_I_UNROLL)
+            ]
+            started = [[False, False] for _ in range(_I_UNROLL)]
+
+            for dz in sorted(self._per_plane):
+                taps = self._per_plane[dz]
+                src_z = None if z is None else z + dz
+                # Hoisted aligned loads shared by all four output rows.
+                needed_rows = sorted(
+                    {i_base + m + di for m in range(_I_UNROLL) for (di, _dj, _t) in taps}
+                )
+                row_reg: Dict[int, VReg] = {}
+                for k, i0 in enumerate(needed_rows):
+                    reg = VReg(_ROW_REGS[k])
+                    out.append(LD1D(reg, self._addr(self.src, i0, j, src_z)))
+                    row_reg[i0] = reg
+
+                for m in range(_I_UNROLL):
+                    i = i_base + m
+                    for tap_no, (di, dj, t) in enumerate(taps):
+                        if dj == 0:
+                            operand = row_reg[i + di]
+                        else:
+                            operand = shift_pool.take()
+                            out.append(
+                                LD1D(operand, self._addr(self.src, i + di, j + dj, src_z))
+                            )
+                        coef_reg = VReg(_COEF_REGS[t // SVL_LANES])
+                        idx = t % SVL_LANES
+                        chain = tap_no % 2
+                        target = acc[m][chain]
+                        if not started[m][chain]:
+                            out.append(FMUL_IDX(target, operand, coef_reg, idx))
+                            started[m][chain] = True
+                        else:
+                            out.append(FMLA_IDX(target, operand, coef_reg, idx))
+
+            for m in range(_I_UNROLL):
+                result = acc[m][0]
+                if started[m][1]:
+                    out.append(FADD_V(result, acc[m][0], acc[m][1]))
+                out.append(ST1D(result, self._addr(self.dst, i_base + m, j, z)))
+            self._overhead(out)
+        return self._finalize(out)

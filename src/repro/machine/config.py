@@ -1,0 +1,277 @@
+"""Machine configurations: pipelines, latencies, caches, prefetcher.
+
+Two presets reproduce the paper's platforms:
+
+``LX2()``
+    The next-generation HPC CPU of Sections 2.1/5.1.  Calibrated so that the
+    architectural facts the paper leans on hold by construction:
+
+    * FP64 outer-product peak is 4x the vector-MLA peak — one matrix pipe
+      retiring 128 flops/cycle vs two vector pipes retiring 2 x 16 = 32;
+    * an FMOPA has a 4-cycle dependency latency with single-cycle initiation,
+      so peak matrix throughput needs >= 4 independent accumulator tiles
+      (Figure 3a) and single-register kernels leave the unit 4x underused;
+    * matrix, vector and load/store instructions occupy distinct pipelines
+      and co-issue (Figure 3b);
+    * the tile-slice-to-vector move (MOVA) has twice the FMOPA initiation
+      interval, making the naive accumulation workflow expensive (§3.1.1).
+
+``M4()``
+    The Apple M4 Pro portability target of Section 5.4: same tile geometry,
+    *no vector-FMLA capability* (matrix-MLA ``FMLA_M`` instead), 128 KB L1
+    data cache and a large shared L2.
+
+All parameters are plain dataclass fields so experiments and tests can
+derive variants (e.g. disabling the hardware prefetcher).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict
+
+from repro.isa.instructions import (
+    DUP,
+    EXT,
+    FADD_V,
+    FMLA,
+    FMLA_IDX,
+    FMLA_M,
+    FMOPA,
+    FMUL_IDX,
+    Instruction,
+    LD1D,
+    LD1D_STRIDED,
+    MOVA_TILE_TO_VEC,
+    MOVA_VEC_TO_TILE,
+    PortClass,
+    PRFM,
+    SCALAR_OP,
+    SET_LANES,
+    ST1D,
+    ST1D_SLICE,
+    ZERO_TILE,
+)
+
+
+@dataclass(frozen=True)
+class CacheGeometry:
+    """Geometry of one cache level."""
+
+    size_bytes: int
+    line_bytes: int
+    associativity: int
+
+    @property
+    def num_sets(self) -> int:
+        sets = self.size_bytes // (self.line_bytes * self.associativity)
+        if sets <= 0:
+            raise ValueError("cache too small for its line size / associativity")
+        return sets
+
+
+@dataclass(frozen=True)
+class LatencySpec:
+    """``(latency, initiation_interval)`` of an instruction class.
+
+    ``latency`` is cycles until the result is usable; ``initiation_interval``
+    is cycles the pipe stays busy (1 = fully pipelined).
+    """
+
+    latency: int
+    initiation_interval: int = 1
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Complete description of one simulated core + its memory system."""
+
+    name: str
+
+    #: Pipes available per port class (co-issue capability).
+    ports: Dict[PortClass, int] = field(
+        default_factory=lambda: {
+            PortClass.VECTOR: 2,
+            PortClass.MATRIX: 1,
+            PortClass.LOAD: 2,
+            PortClass.STORE: 1,
+            PortClass.SCALAR: 2,
+        }
+    )
+
+    #: Maximum instructions issued per cycle across all ports.
+    issue_width: int = 4
+
+    #: Latency/II per instruction mnemonic (see :meth:`latency_for`).
+    latencies: Dict[str, LatencySpec] = field(default_factory=dict)
+
+    #: Whether the core has vector-FMLA capability (False on the M4, which
+    #: replaces it with matrix-MLA; kernels consult this flag).
+    has_vector_fmla: bool = True
+
+    #: Whether the core supports the matrix-MLA (FMLA_M) instruction.
+    has_matrix_mla: bool = False
+
+    #: Whether in-place accumulation (vector results accumulated into a tile
+    #: via a unit-basis FMOPA) is architecturally available.  On the M4 the
+    #: fragmented M-MLA layout forbids it (Section 4.1).
+    supports_inplace_accumulation: bool = True
+
+    # -- memory hierarchy ---------------------------------------------------
+
+    l1: CacheGeometry = CacheGeometry(64 * 1024, 64, 8)
+    l2: CacheGeometry = CacheGeometry(512 * 1024, 64, 8)
+
+    #: Load-to-use latencies *visible to the in-order model*.  A real
+    #: core's out-of-order window hides most of an L2 hit and part of a
+    #: DRAM access; the presets encode the unhidden portion, which is
+    #: what stall-on-use scoreboarding should charge.
+    l1_load_latency: int = 4
+    l2_load_latency: int = 7
+    mem_load_latency: int = 60
+
+    #: Hardware stream prefetcher: number of tracked streams and how many
+    #: lines ahead it runs.  The stream-table capacity is the mechanism that
+    #: separates the vector method (few streams, fully covered) from the
+    #: matrix method (2r+8 concurrent row streams, table thrashes) — §2.3.3.
+    hw_prefetch_streams: int = 16
+    hw_prefetch_depth: int = 4
+    hw_prefetch_enabled: bool = True
+
+    #: Shared DRAM bandwidth in bytes/cycle (whole socket, for multicore).
+    mem_bandwidth_bytes_per_cycle: float = 800.0
+
+    #: Nominal clock for converting cycles to seconds (GStencil/s).
+    clock_ghz: float = 2.5
+
+    # -----------------------------------------------------------------------
+
+    def latency_for(self, ins: Instruction) -> LatencySpec:
+        """Latency/II for an instruction (memory level handled by caller)."""
+        spec = self.latencies.get(ins.mnemonic)
+        if spec is None:
+            raise KeyError(f"{self.name}: no latency configured for {ins.mnemonic!r}")
+        return spec
+
+    def port_count(self, port: PortClass) -> int:
+        return self.ports.get(port, 1)
+
+    def without_hw_prefetch(self) -> "MachineConfig":
+        """Variant with the hardware prefetcher disabled (ablations)."""
+        return replace(self, hw_prefetch_enabled=False, name=self.name + "-nohwpf")
+
+    def validate(self) -> None:
+        """Sanity-check internal consistency (used by tests)."""
+        if self.issue_width < 1:
+            raise ValueError("issue width must be >= 1")
+        for port, count in self.ports.items():
+            if count < 0:
+                raise ValueError(f"negative pipe count for {port}")
+        if self.l1.line_bytes != self.l2.line_bytes:
+            raise ValueError("L1/L2 line sizes must match")
+        for mnemonic, spec in self.latencies.items():
+            if spec.latency < 1 or spec.initiation_interval < 1:
+                raise ValueError(f"bad latency spec for {mnemonic}: {spec}")
+
+
+def _common_latencies() -> Dict[str, LatencySpec]:
+    """Latency table shared by both presets.
+
+    Load latencies here are the *L1-hit* values; the timing engine adds the
+    L2/memory penalty according to where the access actually hits.
+    """
+    return {
+        LD1D.mnemonic: LatencySpec(latency=4, initiation_interval=1),
+        # A strided gather touches eight cache lines with eight address
+        # generations: it occupies its load pipe for eight slots.
+        LD1D_STRIDED.mnemonic: LatencySpec(latency=14, initiation_interval=8),
+        ST1D.mnemonic: LatencySpec(latency=1, initiation_interval=1),
+        ST1D_SLICE.mnemonic: LatencySpec(latency=1, initiation_interval=1),
+        PRFM.mnemonic: LatencySpec(latency=1, initiation_interval=1),
+        FMLA.mnemonic: LatencySpec(latency=3, initiation_interval=1),
+        FMLA_IDX.mnemonic: LatencySpec(latency=3, initiation_interval=1),
+        FMUL_IDX.mnemonic: LatencySpec(latency=3, initiation_interval=1),
+        FADD_V.mnemonic: LatencySpec(latency=3, initiation_interval=1),
+        EXT.mnemonic: LatencySpec(latency=2, initiation_interval=1),
+        DUP.mnemonic: LatencySpec(latency=1, initiation_interval=1),
+        SET_LANES.mnemonic: LatencySpec(latency=2, initiation_interval=1),
+        FMOPA.mnemonic: LatencySpec(latency=4, initiation_interval=1),
+        ZERO_TILE.mnemonic: LatencySpec(latency=1, initiation_interval=1),
+        # Slice-to-vector transfer: "requiring two times more cycles than
+        # outer product instructions" (§3.1.1) — II 2, long latency.
+        MOVA_TILE_TO_VEC.mnemonic: LatencySpec(latency=8, initiation_interval=2),
+        MOVA_VEC_TO_TILE.mnemonic: LatencySpec(latency=4, initiation_interval=2),
+        FMLA_M.mnemonic: LatencySpec(latency=4, initiation_interval=1),
+        SCALAR_OP.mnemonic: LatencySpec(latency=1, initiation_interval=1),
+    }
+
+
+def LX2() -> MachineConfig:
+    """The LX2 high-performance CPU preset (Sections 2.1, 5.1)."""
+    cfg = MachineConfig(
+        name="LX2",
+        ports={
+            PortClass.VECTOR: 2,
+            PortClass.MATRIX: 1,
+            PortClass.LOAD: 2,
+            PortClass.STORE: 1,
+            PortClass.SCALAR: 2,
+        },
+        issue_width=4,
+        latencies=_common_latencies(),
+        has_vector_fmla=True,
+        has_matrix_mla=False,
+        supports_inplace_accumulation=True,
+        l1=CacheGeometry(64 * 1024, 64, 8),
+        l2=CacheGeometry(512 * 1024, 64, 8),
+        l1_load_latency=4,
+        l2_load_latency=7,
+        mem_load_latency=60,
+        hw_prefetch_streams=16,
+        hw_prefetch_depth=4,
+        mem_bandwidth_bytes_per_cycle=800.0,
+        clock_ghz=2.5,
+    )
+    cfg.validate()
+    return cfg
+
+
+def M4() -> MachineConfig:
+    """The Apple M4 Pro preset (Section 5.4).
+
+    128 KB L1 data cache, large shared L2, no *streaming* vector-FMLA
+    capability (matrix-MLA instead), in-place accumulation architecturally
+    infeasible.  The auto-vectorization baseline on the M4 is NEON
+    (128-bit): vector FMA instructions carry a doubled initiation interval
+    so a full 512-bit-equivalent op costs two slots — the throughput ratio
+    between four 128-bit NEON pipes and this model's two 512-bit pipes.
+    """
+    neon_latencies = _common_latencies()
+    for mnemonic in (FMLA.mnemonic, FMLA_IDX.mnemonic, FMUL_IDX.mnemonic):
+        neon_latencies[mnemonic] = LatencySpec(latency=3, initiation_interval=2)
+    cfg = MachineConfig(
+        name="M4",
+        ports={
+            PortClass.VECTOR: 2,
+            PortClass.MATRIX: 1,
+            PortClass.LOAD: 2,
+            PortClass.STORE: 1,
+            PortClass.SCALAR: 2,
+        },
+        issue_width=4,
+        latencies=neon_latencies,
+        has_vector_fmla=False,
+        has_matrix_mla=True,
+        supports_inplace_accumulation=False,
+        l1=CacheGeometry(128 * 1024, 64, 8),
+        l2=CacheGeometry(1 * 1024 * 1024, 64, 8),
+        l1_load_latency=4,
+        l2_load_latency=8,
+        mem_load_latency=70,
+        hw_prefetch_streams=16,
+        hw_prefetch_depth=4,
+        mem_bandwidth_bytes_per_cycle=96.0,
+        clock_ghz=3.0,
+    )
+    cfg.validate()
+    return cfg

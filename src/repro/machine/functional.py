@@ -1,0 +1,134 @@
+"""Functional (semantic) execution of instruction traces.
+
+This engine gives every kernel its ground truth: it interprets each
+instruction against a :class:`~repro.isa.registers.RegisterFile` and a
+:class:`~repro.machine.memory.MemorySpace`, so a generated kernel is correct
+iff the grid it leaves in memory matches the NumPy reference stencil.  All
+stencil-correctness tests and the in-place-accumulation exactness property
+run through here.
+
+The engine is deliberately straight-line Python + small NumPy vectors; it is
+fast enough for the grid sizes tests use (up to ~256x256 full grids, or
+sampled bands of the out-of-cache sizes).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+import numpy as np
+
+from repro.isa.instructions import (
+    DUP,
+    EXT,
+    FADD_V,
+    FMLA,
+    FMLA_IDX,
+    FMLA_M,
+    FMOPA,
+    FMUL_IDX,
+    Instruction,
+    LD1D,
+    LD1D_STRIDED,
+    MOVA_TILE_TO_VEC,
+    MOVA_VEC_TO_TILE,
+    PRFM,
+    SCALAR_OP,
+    SET_LANES,
+    ST1D,
+    ST1D_SLICE,
+    ZERO_TILE,
+)
+from repro.isa.program import Kernel, KernelBlock
+from repro.isa.registers import RegisterFile, SVL_LANES
+from repro.machine.memory import MemorySpace
+
+
+class FunctionalEngine:
+    """Interprets instruction streams for their architectural effects."""
+
+    def __init__(self, memory: Optional[MemorySpace] = None) -> None:
+        self.memory = memory if memory is not None else MemorySpace()
+        self.regs = RegisterFile()
+        self.instructions_executed = 0
+
+    def reset_registers(self) -> None:
+        """Clear architectural register state between kernel runs."""
+        self.regs.reset()
+
+    # ------------------------------------------------------------------
+
+    def execute(self, ins: Instruction) -> None:
+        """Execute one instruction's semantics."""
+        regs, mem = self.regs, self.memory
+        self.instructions_executed += 1
+
+        if isinstance(ins, LD1D):
+            if ins.mask == SVL_LANES:
+                regs.write_v(ins.dst, mem.read(ins.addr, SVL_LANES))
+            else:
+                lanes = np.zeros(SVL_LANES)
+                lanes[: ins.mask] = mem.read(ins.addr, ins.mask)
+                regs.write_v(ins.dst, lanes)
+        elif isinstance(ins, LD1D_STRIDED):
+            regs.write_v(ins.dst, mem.read_strided(ins.addr, SVL_LANES, ins.stride))
+        elif isinstance(ins, ST1D):
+            mem.write(ins.addr, regs.read_v(ins.src)[: ins.mask])
+        elif isinstance(ins, ST1D_SLICE):
+            mem.write(ins.addr, regs.read_slice(ins.tile, ins.row)[: ins.mask])
+        elif isinstance(ins, PRFM):
+            pass  # cache hint only; no architectural effect
+        elif isinstance(ins, FMLA):
+            regs.write_v(ins.dst, regs.read_v(ins.dst) + regs.read_v(ins.a) * regs.read_v(ins.b))
+        elif isinstance(ins, FMLA_IDX):
+            scalar = regs.read_v(ins.b)[ins.idx]
+            regs.write_v(ins.dst, regs.read_v(ins.dst) + regs.read_v(ins.a) * scalar)
+        elif isinstance(ins, FMUL_IDX):
+            scalar = regs.read_v(ins.b)[ins.idx]
+            regs.write_v(ins.dst, regs.read_v(ins.a) * scalar)
+        elif isinstance(ins, FADD_V):
+            regs.write_v(ins.dst, regs.read_v(ins.a) + regs.read_v(ins.b))
+        elif isinstance(ins, EXT):
+            joined = np.concatenate([regs.read_v(ins.a), regs.read_v(ins.b)])
+            regs.write_v(ins.dst, joined[ins.imm : ins.imm + SVL_LANES])
+        elif isinstance(ins, DUP):
+            regs.write_v(ins.dst, np.full(SVL_LANES, float(ins.value)))
+        elif isinstance(ins, SET_LANES):
+            regs.write_v(ins.dst, np.array(ins.values, dtype=np.float64))
+        elif isinstance(ins, FMOPA):
+            regs.accumulate_outer(ins.tile, regs.read_v(ins.coef), regs.read_v(ins.src))
+        elif isinstance(ins, ZERO_TILE):
+            regs.zero_tile(ins.tile)
+        elif isinstance(ins, MOVA_TILE_TO_VEC):
+            regs.write_v(ins.dst, regs.read_slice(ins.tile, ins.row))
+        elif isinstance(ins, MOVA_VEC_TO_TILE):
+            regs.write_slice(ins.tile, ins.row, regs.read_v(ins.src))
+        elif isinstance(ins, FMLA_M):
+            scalar = regs.read_v(ins.b)[ins.idx]
+            for g, src in enumerate(ins.group_regs()):
+                row = 2 * g
+                slice_ = regs.read_slice(ins.tile, row)
+                regs.write_slice(ins.tile, row, slice_ + regs.read_v(src) * scalar)
+        elif isinstance(ins, SCALAR_OP):
+            pass  # loop/address overhead; no architectural effect
+        else:
+            raise TypeError(f"functional engine cannot execute {type(ins).__name__}")
+
+    def execute_trace(self, trace: Iterable[Instruction]) -> None:
+        """Execute a straight-line instruction sequence."""
+        for ins in trace:
+            self.execute(ins)
+
+    # ------------------------------------------------------------------
+
+    def run_kernel(self, kernel: Kernel) -> None:
+        """Execute a kernel in full: preamble, then every block in order."""
+        self.execute_trace(kernel.preamble())
+        for block in kernel.loop_nest():
+            self.execute_trace(kernel.emit(block))
+
+    def run_blocks(self, kernel: Kernel, blocks: Iterable[KernelBlock]) -> None:
+        """Execute the preamble plus a subset of blocks (band verification)."""
+        self.execute_trace(kernel.preamble())
+        for block in blocks:
+            self.execute_trace(kernel.emit(block))

@@ -1,0 +1,157 @@
+"""Sparse, word-addressed FP64 memory for the simulated machine.
+
+Addresses are in 8-byte *words*.  Storage is paged and allocated lazily so
+that out-of-cache experiments can address 8192 x 8192 grids (plus halos)
+without committing gigabytes: the timing engine never reads data values, and
+the functional engine only touches the bands it actually verifies.
+
+Allocation is a bump allocator with line alignment; freed space is never
+reclaimed (kernels allocate a handful of arrays per experiment).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+#: Words per allocation page (64 KiB pages).
+PAGE_WORDS = 8192
+
+#: Words per cache line (64-byte lines of FP64).
+LINE_WORDS = 8
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """Record of one named allocation."""
+
+    name: str
+    base: int
+    nwords: int
+
+    @property
+    def end(self) -> int:
+        return self.base + self.nwords
+
+
+class MemorySpace:
+    """Lazily-paged FP64 memory with a bump allocator.
+
+    The address space starts at a nonzero base so that address 0 is never
+    valid (catches uninitialized-address bugs in kernel generators).
+    """
+
+    _BASE = 1024
+
+    def __init__(self) -> None:
+        self._pages: Dict[int, np.ndarray] = {}
+        self._next = self._BASE
+        self._allocations: Dict[str, Allocation] = {}
+
+    # -- allocation ----------------------------------------------------------
+
+    def alloc(self, nwords: int, name: Optional[str] = None, align: int = LINE_WORDS) -> int:
+        """Reserve ``nwords`` words, line-aligned by default; return base."""
+        if nwords <= 0:
+            raise ValueError(f"allocation size must be positive, got {nwords}")
+        if align <= 0 or (align & (align - 1)) != 0:
+            raise ValueError(f"alignment must be a positive power of two, got {align}")
+        base = (self._next + align - 1) & ~(align - 1)
+        self._next = base + nwords
+        if name is None:
+            name = f"anon@{base}"
+        if name in self._allocations:
+            raise ValueError(f"allocation name already used: {name!r}")
+        self._allocations[name] = Allocation(name=name, base=base, nwords=nwords)
+        return base
+
+    def allocation(self, name: str) -> Allocation:
+        """Look up a named allocation."""
+        return self._allocations[name]
+
+    @property
+    def words_reserved(self) -> int:
+        """Total words handed out by the allocator."""
+        return self._next - self._BASE
+
+    @property
+    def words_resident(self) -> int:
+        """Words actually backed by committed pages."""
+        return len(self._pages) * PAGE_WORDS
+
+    # -- word access ---------------------------------------------------------
+
+    def _page_for(self, addr: int, create: bool) -> Optional[Tuple[np.ndarray, int]]:
+        page_id, offset = divmod(addr, PAGE_WORDS)
+        page = self._pages.get(page_id)
+        if page is None:
+            if not create:
+                return None
+            page = np.zeros(PAGE_WORDS, dtype=np.float64)
+            self._pages[page_id] = page
+        return page, offset
+
+    def read(self, addr: int, nwords: int) -> np.ndarray:
+        """Read ``nwords`` consecutive words starting at ``addr``."""
+        self._check_range(addr, nwords)
+        out = np.zeros(nwords, dtype=np.float64)
+        pos = 0
+        while pos < nwords:
+            got = self._page_for(addr + pos, create=False)
+            page_id, offset = divmod(addr + pos, PAGE_WORDS)
+            chunk = min(nwords - pos, PAGE_WORDS - offset)
+            if got is not None:
+                out[pos : pos + chunk] = got[0][offset : offset + chunk]
+            pos += chunk
+        return out
+
+    def write(self, addr: int, values: np.ndarray) -> None:
+        """Write consecutive words starting at ``addr``."""
+        values = np.asarray(values, dtype=np.float64).ravel()
+        self._check_range(addr, len(values))
+        pos = 0
+        n = len(values)
+        while pos < n:
+            page, offset = self._page_for(addr + pos, create=True)
+            chunk = min(n - pos, PAGE_WORDS - offset)
+            page[offset : offset + chunk] = values[pos : pos + chunk]
+            pos += chunk
+
+    def read_strided(self, addr: int, nwords: int, stride: int) -> np.ndarray:
+        """Read ``nwords`` words at ``addr + k*stride`` (gather)."""
+        out = np.zeros(nwords, dtype=np.float64)
+        for k in range(nwords):
+            out[k] = self.read(addr + k * stride, 1)[0]
+        return out
+
+    # -- bulk array helpers (test / experiment setup) -------------------------
+
+    def write_array(self, base: int, array: np.ndarray) -> None:
+        """Copy a contiguous NumPy array into memory at ``base``."""
+        self.write(base, np.ascontiguousarray(array, dtype=np.float64).ravel())
+
+    def read_array(self, base: int, shape: Tuple[int, ...]) -> np.ndarray:
+        """Read a contiguous array of ``shape`` starting at ``base``."""
+        n = int(np.prod(shape))
+        return self.read(base, n).reshape(shape)
+
+    def write_row(self, base: int, row_stride: int, row: int, values: np.ndarray, col: int = 0) -> None:
+        """Write one row of a 2D array laid out with ``row_stride``."""
+        self.write(base + row * row_stride + col, values)
+
+    def read_row(self, base: int, row_stride: int, row: int, ncols: int, col: int = 0) -> np.ndarray:
+        """Read one row of a 2D array laid out with ``row_stride``."""
+        return self.read(base + row * row_stride + col, ncols)
+
+    # -------------------------------------------------------------------------
+
+    def _check_range(self, addr: int, nwords: int) -> None:
+        if addr < self._BASE:
+            raise ValueError(f"access below address base: {addr}")
+        if addr + nwords > self._next:
+            raise ValueError(
+                f"access past end of allocated space: [{addr}, {addr + nwords})"
+                f" but allocator frontier is {self._next}"
+            )

@@ -1,0 +1,116 @@
+"""Multicore strong-scaling model (Figure 16).
+
+OpenMP-style row partitioning inside one NUMA node: the grid is split into
+``P`` horizontal slices, each core runs the same kernel on its slice with
+private L1/L2, and all cores share the socket's DRAM bandwidth.  Because the
+slices are statistically identical, one slice is simulated (band-sampled)
+and the socket-level result follows from a bandwidth-contention bound:
+
+* unconstrained, all cores finish in the single-core slice time ``C``;
+* the aggregate DRAM demand is ``P * D`` bytes over those ``C`` cycles; if
+  that exceeds the socket bandwidth ``B`` bytes/cycle, execution stretches
+  to ``P * D / B`` cycles.
+
+``T = max(C, P*D/B)`` — compute-bound at low core counts, bandwidth-bound
+at high ones.  Methods with better cache behaviour (HStencil with spatial
+prefetch keeps more traffic in L1/L2) have smaller ``D`` and therefore a
+higher scaling ceiling, which is exactly the separation Figure 16 shows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from repro.isa.program import Kernel
+from repro.machine.config import MachineConfig
+from repro.machine.perf import PerfCounters
+from repro.machine.timing import SamplePlan, TimingEngine
+
+
+@dataclass
+class ScalingPoint:
+    """One core-count measurement of the strong-scaling curve."""
+
+    cores: int
+    cycles: float
+    points: int
+    gstencil_per_s: float
+    bandwidth_bound: bool
+    dram_bytes_per_core: float
+    single_core_cycles: float
+
+    @property
+    def speedup_vs_serial(self) -> float:
+        """Throughput relative to the 1-core point of the same sweep.
+
+        Filled in by :meth:`MulticoreModel.strong_scaling`; before that it
+        is computed against ``single_core_cycles`` for the same slice size.
+        """
+        return self.single_core_cycles / self.cycles if self.cycles else 0.0
+
+
+class MulticoreModel:
+    """Strong-scaling evaluation for one machine configuration."""
+
+    def __init__(self, config: MachineConfig) -> None:
+        self.config = config
+        self.engine = TimingEngine(config)
+
+    def run_slice(
+        self,
+        kernel: Kernel,
+        plan: Optional[SamplePlan] = None,
+    ) -> PerfCounters:
+        """Time one core's slice (band-sampled for large slices)."""
+        return self.engine.run(kernel, plan=plan)
+
+    def scaling_point(
+        self,
+        cores: int,
+        slice_counters: PerfCounters,
+    ) -> ScalingPoint:
+        """Combine a slice measurement with the contention bound."""
+        if cores < 1:
+            raise ValueError("core count must be >= 1")
+        compute_cycles = slice_counters.cycles
+        dram_bytes = float(slice_counters.dram_bytes(self.config.l1.line_bytes))
+        bandwidth = self.config.mem_bandwidth_bytes_per_cycle
+        bw_cycles = cores * dram_bytes / bandwidth if bandwidth > 0 else 0.0
+        cycles = max(compute_cycles, bw_cycles)
+        total_points = cores * slice_counters.points
+        seconds = cycles / (self.config.clock_ghz * 1e9)
+        gstencil = total_points / seconds / 1e9 if seconds > 0 else 0.0
+        return ScalingPoint(
+            cores=cores,
+            cycles=cycles,
+            points=total_points,
+            gstencil_per_s=gstencil,
+            bandwidth_bound=bw_cycles > compute_cycles,
+            dram_bytes_per_core=dram_bytes,
+            single_core_cycles=compute_cycles,
+        )
+
+    def strong_scaling(
+        self,
+        kernel_for_rows: Callable[[int], Kernel],
+        total_rows: int,
+        core_counts: Sequence[int],
+        plan: Optional[SamplePlan] = None,
+    ) -> List[ScalingPoint]:
+        """Sweep core counts; each core gets ``total_rows // P`` rows.
+
+        ``kernel_for_rows(rows)`` must build the per-slice kernel (same
+        method, same row width, ``rows`` interior rows).  Slices of equal
+        height are simulated once per distinct height.
+        """
+        cache: dict = {}
+        out: List[ScalingPoint] = []
+        for cores in core_counts:
+            rows = total_rows // cores
+            if rows <= 0:
+                raise ValueError(f"{cores} cores leave no rows per core")
+            if rows not in cache:
+                cache[rows] = self.run_slice(kernel_for_rows(rows), plan=plan)
+            out.append(self.scaling_point(cores, cache[rows]))
+        return out

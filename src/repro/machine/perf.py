@@ -1,0 +1,154 @@
+"""Performance counters and derived metrics.
+
+:class:`PerfCounters` is the result object every engine run produces.  It
+mirrors what the paper collects with ``perf stat`` (instructions, cycles,
+L1-dcache loads/misses) plus simulator-only insight (flops, useful flops,
+per-port instruction mix, DRAM traffic).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.isa.instructions import PortClass
+
+
+@dataclass
+class PerfCounters:
+    """Counters for one (possibly extrapolated) kernel execution."""
+
+    #: Method / kernel name the counters belong to.
+    label: str = ""
+
+    cycles: float = 0.0
+    instructions: int = 0
+    instructions_by_port: Dict[PortClass, int] = field(default_factory=dict)
+
+    flops: int = 0
+    useful_flops: int = 0
+
+    #: Grid points updated (for GStencil/s and cycles/point).
+    points: int = 0
+
+    # L1 statistics (perf-style: demand + software-prefetch probes).
+    l1_accesses: int = 0
+    l1_hits: int = 0
+    l1_demand_accesses: int = 0
+    l1_demand_hits: int = 0
+    l1_prefetch_fills: int = 0
+
+    l2_accesses: int = 0
+    l2_hits: int = 0
+
+    dram_lines_read: int = 0
+    dram_lines_written: int = 0
+
+    sw_prefetches: int = 0
+    hw_prefetches: int = 0
+
+    #: True when cycles/points were extrapolated from a sampled band.
+    sampled: bool = False
+
+    # -- derived -------------------------------------------------------------
+
+    @property
+    def ipc(self) -> float:
+        """Retired instructions per cycle."""
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def l1_hit_rate(self) -> float:
+        """Hit rate as a PMU reports it (includes SW prefetch probes)."""
+        return self.l1_hits / self.l1_accesses if self.l1_accesses else 0.0
+
+    @property
+    def l1_demand_hit_rate(self) -> float:
+        return (
+            self.l1_demand_hits / self.l1_demand_accesses if self.l1_demand_accesses else 0.0
+        )
+
+    @property
+    def cycles_per_point(self) -> float:
+        return self.cycles / self.points if self.points else 0.0
+
+    @property
+    def matrix_utilization(self) -> float:
+        """Useful flops over machine-capability flops of matrix instructions.
+
+        This is only meaningful for counters restricted to matrix
+        instructions; :meth:`repro.core.analysis` computes the single-register
+        utilization of Table 1 analytically instead.
+        """
+        return self.useful_flops / self.flops if self.flops else 0.0
+
+    def gstencil_per_s(self, clock_ghz: float) -> float:
+        """Grid-point updates per wall-clock second, in 1e9/s."""
+        if self.cycles == 0:
+            return 0.0
+        seconds = self.cycles / (clock_ghz * 1e9)
+        return self.points / seconds / 1e9
+
+    def dram_bytes(self, line_bytes: int = 64) -> int:
+        return (self.dram_lines_read + self.dram_lines_written) * line_bytes
+
+    # -- combination -----------------------------------------------------------
+
+    def scaled(self, factor: float) -> "PerfCounters":
+        """Return a copy with extensive counters multiplied by ``factor``.
+
+        Used to extrapolate a sampled band to the full grid.  Counter values
+        stay floats for cycles and are rounded for integral counters.
+        """
+        out = PerfCounters(label=self.label, sampled=True)
+        out.cycles = self.cycles * factor
+        out.instructions = round(self.instructions * factor)
+        out.instructions_by_port = {
+            k: round(v * factor) for k, v in self.instructions_by_port.items()
+        }
+        out.flops = round(self.flops * factor)
+        out.useful_flops = round(self.useful_flops * factor)
+        out.points = round(self.points * factor)
+        out.l1_accesses = round(self.l1_accesses * factor)
+        out.l1_hits = round(self.l1_hits * factor)
+        out.l1_demand_accesses = round(self.l1_demand_accesses * factor)
+        out.l1_demand_hits = round(self.l1_demand_hits * factor)
+        out.l1_prefetch_fills = round(self.l1_prefetch_fills * factor)
+        out.l2_accesses = round(self.l2_accesses * factor)
+        out.l2_hits = round(self.l2_hits * factor)
+        out.dram_lines_read = round(self.dram_lines_read * factor)
+        out.dram_lines_written = round(self.dram_lines_written * factor)
+        out.sw_prefetches = round(self.sw_prefetches * factor)
+        out.hw_prefetches = round(self.hw_prefetches * factor)
+        return out
+
+    def merge(self, other: "PerfCounters") -> None:
+        """Accumulate another run's extensive counters into this one."""
+        self.cycles += other.cycles
+        self.instructions += other.instructions
+        for k, v in other.instructions_by_port.items():
+            self.instructions_by_port[k] = self.instructions_by_port.get(k, 0) + v
+        self.flops += other.flops
+        self.useful_flops += other.useful_flops
+        self.points += other.points
+        self.l1_accesses += other.l1_accesses
+        self.l1_hits += other.l1_hits
+        self.l1_demand_accesses += other.l1_demand_accesses
+        self.l1_demand_hits += other.l1_demand_hits
+        self.l1_prefetch_fills += other.l1_prefetch_fills
+        self.l2_accesses += other.l2_accesses
+        self.l2_hits += other.l2_hits
+        self.dram_lines_read += other.dram_lines_read
+        self.dram_lines_written += other.dram_lines_written
+        self.sw_prefetches += other.sw_prefetches
+        self.hw_prefetches += other.hw_prefetches
+        self.sampled = self.sampled or other.sampled
+
+    def summary(self) -> str:
+        """One-line human-readable digest."""
+        return (
+            f"{self.label or 'run'}: {self.cycles:.0f} cycles, "
+            f"{self.instructions} instr (IPC {self.ipc:.2f}), "
+            f"{self.points} points ({self.cycles_per_point:.2f} cyc/pt), "
+            f"L1 {100 * self.l1_hit_rate:.1f}%"
+        )

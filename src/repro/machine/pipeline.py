@@ -1,0 +1,213 @@
+"""Event-scoreboard timing model of the in-order superscalar core.
+
+The model is the piece that makes the paper's instruction-scheduling story
+observable in Python: instructions issue **in program order**, stalling on
+
+* operand readiness (register/tile-slice scoreboard, no renaming),
+* execution-port availability (per-class pipe count and per-instruction
+  initiation interval), and
+* the per-cycle issue-width ceiling,
+
+so a kernel whose loads, outer products, MLAs and stores are interleaved by
+the scheduling pass genuinely retires more instructions per cycle than the
+same multiset of instructions in naive order.  Loads resolve their latency
+through the cache hierarchy at issue time (stall-on-use, so independent
+loads pipeline behind misses and software prefetch actually hides latency).
+
+The walk is O(trace length): each instruction computes its issue cycle as a
+max over a handful of scoreboard entries — no cycle-by-cycle loop.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.isa.instructions import (
+    Instruction,
+    LD1D,
+    LD1D_STRIDED,
+    PortClass,
+    PRFM,
+    ST1D,
+    ST1D_SLICE,
+)
+from repro.machine.cache import L1, L2, MEM, CacheHierarchy
+from repro.machine.config import MachineConfig
+from repro.machine.perf import PerfCounters
+from repro.machine.prefetcher import StreamPrefetcher
+
+
+class PipelineModel:
+    """In-order multi-issue pipeline with a register scoreboard."""
+
+    def __init__(
+        self,
+        config: MachineConfig,
+        hierarchy: Optional[CacheHierarchy] = None,
+        prefetcher: Optional[StreamPrefetcher] = None,
+    ) -> None:
+        self.config = config
+        self.hierarchy = hierarchy if hierarchy is not None else CacheHierarchy(config)
+        if prefetcher is None:
+            prefetcher = StreamPrefetcher(
+                self.hierarchy,
+                num_streams=config.hw_prefetch_streams,
+                depth=config.hw_prefetch_depth,
+                enabled=config.hw_prefetch_enabled,
+            )
+        self.prefetcher = prefetcher
+
+        #: Next-free cycle per pipe, per port class.
+        self._port_free: Dict[PortClass, List[int]] = {
+            port: [0] * count for port, count in config.ports.items()
+        }
+        #: Scoreboard: dependence key -> cycle the value becomes available.
+        self._ready: Dict[object, int] = {}
+        #: In-order frontier: issue cycles are non-decreasing.
+        self._frontier = 0
+        #: Issue-width bookkeeping for the frontier cycle.
+        self._cycle = 0
+        self._issued_this_cycle = 0
+        #: Completion time of the latest-finishing instruction.
+        self.makespan = 0
+
+        self.instructions_retired = 0
+        self.instructions_by_port: Dict[PortClass, int] = {}
+        self.flops = 0
+        self.useful_flops = 0
+        self.sw_prefetches = 0
+
+    # ------------------------------------------------------------------
+
+    def process(self, ins: Instruction) -> int:
+        """Advance the model by one instruction; return its issue cycle."""
+        spec = self.config.latency_for(ins)
+
+        # Earliest cycle with operands ready (reads) and no WAW overtaking
+        # of an in-flight write to the same key (no renaming).
+        t = self._frontier
+        for key in ins.reads():
+            r = self._ready.get(key, 0)
+            if r > t:
+                t = r
+        for key in ins.writes():
+            r = self._ready.get(key, 0)
+            if r > t:
+                t = r
+
+        # Port availability: take the least-loaded pipe of the class.
+        pipes = self._port_free.get(ins.port)
+        if not pipes:
+            raise RuntimeError(
+                f"{self.config.name}: no {ins.port} pipe for {ins.mnemonic}"
+            )
+        pipe_idx = min(range(len(pipes)), key=pipes.__getitem__)
+        if pipes[pipe_idx] > t:
+            t = pipes[pipe_idx]
+
+        # Per-cycle issue-width ceiling.
+        if t > self._cycle:
+            self._cycle = t
+            self._issued_this_cycle = 0
+        if self._issued_this_cycle >= self.config.issue_width:
+            t = self._cycle + 1
+            self._cycle = t
+            self._issued_this_cycle = 0
+
+        # Memory behaviour resolves at issue: the cache level reached
+        # determines the load latency; prefetches fill without stalling.
+        latency = spec.latency
+        if isinstance(ins, (LD1D, LD1D_STRIDED)):
+            worst = L1
+            for addr, nwords in ins.mem_reads():
+                level = self.hierarchy.demand_access(addr, nwords, write=False)
+                self.prefetcher.observe(addr, nwords, hit=level == L1)
+                worst = max(worst, level)
+            latency += self._miss_penalty(worst)
+        elif isinstance(ins, (ST1D, ST1D_SLICE)):
+            for addr, nwords in ins.mem_writes():
+                level = self.hierarchy.demand_access(addr, nwords, write=True)
+                self.prefetcher.observe(addr, nwords, hit=level == L1)
+        elif isinstance(ins, PRFM):
+            self.hierarchy.software_prefetch(ins.addr, ins.length, write=ins.write)
+            self.sw_prefetches += 1
+
+        # Commit the issue.
+        pipes[pipe_idx] = t + spec.initiation_interval
+        self._frontier = t
+        self._issued_this_cycle += 1
+        done = t + latency
+        for key in ins.writes():
+            self._ready[key] = done
+        if done > self.makespan:
+            self.makespan = done
+
+        self.instructions_retired += 1
+        self.instructions_by_port[ins.port] = self.instructions_by_port.get(ins.port, 0) + 1
+        self.flops += ins.flops
+        self.useful_flops += ins.useful_flops
+        return t
+
+    def process_trace(self, trace: Iterable[Instruction]) -> None:
+        """Process a straight-line sequence of instructions."""
+        for ins in trace:
+            self.process(ins)
+
+    def _miss_penalty(self, level: int) -> int:
+        cfg = self.config
+        if level == L1:
+            return 0
+        if level == L2:
+            return cfg.l2_load_latency - cfg.l1_load_latency
+        if level == MEM:
+            return cfg.mem_load_latency - cfg.l1_load_latency
+        raise ValueError(f"unknown memory level {level}")
+
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> PerfCounters:
+        """Current cumulative counters as a :class:`PerfCounters`."""
+        h = self.hierarchy
+        pc = PerfCounters()
+        pc.cycles = float(self.makespan)
+        pc.instructions = self.instructions_retired
+        pc.instructions_by_port = dict(self.instructions_by_port)
+        pc.flops = self.flops
+        pc.useful_flops = self.useful_flops
+        pc.l1_accesses = h.l1.stats.perf_accesses
+        pc.l1_hits = h.l1.stats.perf_hits
+        pc.l1_demand_accesses = h.l1.stats.demand_accesses
+        pc.l1_demand_hits = h.l1.stats.demand_hits
+        pc.l1_prefetch_fills = h.l1.stats.prefetch_fills
+        pc.l2_accesses = h.l2.stats.demand_accesses
+        pc.l2_hits = h.l2.stats.demand_hits
+        pc.dram_lines_read = h.mem_lines_read
+        pc.dram_lines_written = h.mem_lines_written
+        pc.sw_prefetches = self.sw_prefetches
+        pc.hw_prefetches = self.prefetcher.prefetches_issued
+        return pc
+
+    @staticmethod
+    def delta(after: PerfCounters, before: PerfCounters) -> PerfCounters:
+        """Counter difference between two snapshots (for band sampling)."""
+        out = PerfCounters()
+        out.cycles = after.cycles - before.cycles
+        out.instructions = after.instructions - before.instructions
+        out.instructions_by_port = {
+            k: after.instructions_by_port.get(k, 0) - before.instructions_by_port.get(k, 0)
+            for k in set(after.instructions_by_port) | set(before.instructions_by_port)
+        }
+        out.flops = after.flops - before.flops
+        out.useful_flops = after.useful_flops - before.useful_flops
+        out.l1_accesses = after.l1_accesses - before.l1_accesses
+        out.l1_hits = after.l1_hits - before.l1_hits
+        out.l1_demand_accesses = after.l1_demand_accesses - before.l1_demand_accesses
+        out.l1_demand_hits = after.l1_demand_hits - before.l1_demand_hits
+        out.l1_prefetch_fills = after.l1_prefetch_fills - before.l1_prefetch_fills
+        out.l2_accesses = after.l2_accesses - before.l2_accesses
+        out.l2_hits = after.l2_hits - before.l2_hits
+        out.dram_lines_read = after.dram_lines_read - before.dram_lines_read
+        out.dram_lines_written = after.dram_lines_written - before.dram_lines_written
+        out.sw_prefetches = after.sw_prefetches - before.sw_prefetches
+        out.hw_prefetches = after.hw_prefetches - before.hw_prefetches
+        return out

@@ -1,0 +1,34 @@
+"""Stencil problem definitions, grids and the NumPy gold reference.
+
+* :mod:`repro.stencils.spec` — :class:`StencilSpec`: pattern (star/box),
+  dimensionality, radius and coefficient planes, plus the decompositions
+  (vertical/horizontal/shifted-column coefficient vectors) the kernel
+  generators consume.
+* :mod:`repro.stencils.grid` — halo-padded grid layout in simulated memory.
+* :mod:`repro.stencils.reference` — vectorized NumPy reference used as
+  ground truth by every kernel-correctness test.
+* :mod:`repro.stencils.library` — the named benchmark suite of the paper's
+  evaluation (Star/Box 2D/3D at several radii, Heat-2D).
+"""
+
+from repro.stencils.spec import StencilSpec, star2d, box2d, star3d, box3d, heat2d
+from repro.stencils.grid import Grid2D, Grid3D
+from repro.stencils.reference import reference_stencil_2d, reference_stencil_3d, apply_reference
+from repro.stencils.library import BENCHMARKS, benchmark, benchmark_names
+
+__all__ = [
+    "StencilSpec",
+    "star2d",
+    "box2d",
+    "star3d",
+    "box3d",
+    "heat2d",
+    "Grid2D",
+    "Grid3D",
+    "reference_stencil_2d",
+    "reference_stencil_3d",
+    "apply_reference",
+    "BENCHMARKS",
+    "benchmark",
+    "benchmark_names",
+]

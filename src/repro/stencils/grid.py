@@ -1,0 +1,253 @@
+"""Halo-padded grid layout in simulated memory.
+
+Grids are laid out row-major with
+
+* a halo of ``radius`` cells on every side (stencils read the halo, write
+  only the interior);
+* the interior origin aligned to a cache line, so unshifted vector loads
+  touch a single line while shifted (±s) loads straddle two — the spatial
+  reuse structure the cache experiments depend on;
+* the row stride padded up to a whole number of vector lengths.
+
+Interior coordinates are used throughout the kernels: ``addr(i, j)`` with
+``i in [-r, rows + r)`` covers halo rows with negative / overflowing
+indices.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+import zlib
+
+from repro.isa.registers import SVL_LANES
+from repro.machine.memory import MemorySpace
+
+#: Grid bases are aligned to this many words (256 KiB) so that a grid's
+#: cache-set phase is a function of its *name* only, never of the sizes of
+#: previously allocated grids.  Without this, the set distance between the
+#: input and output arrays changes with grid height and experiments become
+#: sensitive to power-of-two aliasing luck.
+BASE_ALIGN_WORDS = 32768
+
+#: Per-name set-phase skew, in cache lines (8 words), derived from a
+#: stable hash so "A" and "B" land in decorrelated set phases.
+_SKEW_SPAN_LINES = 2048
+
+
+def _name_skew_words(name: str) -> int:
+    return (zlib.crc32(name.encode("utf-8")) % _SKEW_SPAN_LINES) * SVL_LANES
+
+
+def _round_up(value: int, multiple: int) -> int:
+    return ((value + multiple - 1) // multiple) * multiple
+
+
+class Grid2D:
+    """A 2D grid with halo, resident in a :class:`MemorySpace`."""
+
+    def __init__(
+        self,
+        mem: MemorySpace,
+        rows: int,
+        cols: int,
+        radius: int,
+        name: str,
+        fill: Optional[str] = None,
+        seed: int = 0,
+    ) -> None:
+        if rows <= 0 or cols <= 0:
+            raise ValueError("grid dimensions must be positive")
+        if radius < 0:
+            raise ValueError("radius must be >= 0")
+        self.mem = mem
+        self.rows = rows
+        self.cols = cols
+        self.radius = radius
+        self.name = name
+        #: Words before interior column 0 in each row (line-aligned, >= r).
+        self.left_pad = _round_up(max(radius, 0), SVL_LANES) if radius else 0
+        self.row_stride = _round_up(self.left_pad + cols + radius, SVL_LANES)
+        self.total_rows = rows + 2 * radius
+        skew = _name_skew_words(name)
+        # One vector of guard words: tail blocks of non-conforming grids
+        # issue full-width loads whose inactive lanes read into the pad.
+        raw = mem.alloc(
+            self.total_rows * self.row_stride + skew + SVL_LANES,
+            name=name,
+            align=BASE_ALIGN_WORDS,
+        )
+        self.base = raw + skew
+        if fill == "random":
+            self.randomize(seed)
+        elif fill == "zero" or fill is None:
+            pass
+        else:
+            raise ValueError(f"unknown fill mode {fill!r}")
+
+    # -- addressing -----------------------------------------------------------
+
+    def addr(self, i: int, j: int) -> int:
+        """Word address of interior cell ``(i, j)``; halo via out-of-range."""
+        r = self.radius
+        if not -r <= i < self.rows + r:
+            raise IndexError(f"row {i} outside grid+halo of {self.name}")
+        if not -self.left_pad <= j < self.row_stride - self.left_pad:
+            raise IndexError(f"col {j} outside padded row of {self.name}")
+        return self.base + (i + r) * self.row_stride + self.left_pad + j
+
+    @property
+    def words(self) -> int:
+        """Total words occupied including halo and padding."""
+        return self.total_rows * self.row_stride
+
+    # -- bulk data ------------------------------------------------------------
+
+    def randomize(self, seed: int = 0) -> None:
+        """Fill interior *and halo* with reproducible random values."""
+        rng = np.random.default_rng(seed)
+        r = self.radius
+        full = rng.uniform(-1.0, 1.0, size=(self.total_rows, 2 * r + self.cols))
+        self.set_full(full)
+
+    def set_full(self, array: np.ndarray) -> None:
+        """Write the logical (rows+2r, cols+2r) array (halo included)."""
+        r = self.radius
+        array = np.asarray(array, dtype=np.float64)
+        expected = (self.total_rows, self.cols + 2 * r)
+        if array.shape != expected:
+            raise ValueError(f"expected shape {expected}, got {array.shape}")
+        for li in range(self.total_rows):
+            self.mem.write(self.addr(li - r, -r), array[li])
+
+    def get_full(self) -> np.ndarray:
+        """Read the logical (rows+2r, cols+2r) array (halo included)."""
+        r = self.radius
+        out = np.zeros((self.total_rows, self.cols + 2 * r))
+        for li in range(self.total_rows):
+            out[li] = self.mem.read(self.addr(li - r, -r), self.cols + 2 * r)
+        return out
+
+    def set_interior(self, array: np.ndarray) -> None:
+        """Write the interior (rows, cols) block."""
+        array = np.asarray(array, dtype=np.float64)
+        if array.shape != (self.rows, self.cols):
+            raise ValueError(f"expected shape {(self.rows, self.cols)}, got {array.shape}")
+        for i in range(self.rows):
+            self.mem.write(self.addr(i, 0), array[i])
+
+    def get_interior(self) -> np.ndarray:
+        """Read the interior (rows, cols) block."""
+        out = np.zeros((self.rows, self.cols))
+        for i in range(self.rows):
+            out[i] = self.mem.read(self.addr(i, 0), self.cols)
+        return out
+
+    def get_rows(self, i0: int, i1: int) -> np.ndarray:
+        """Read interior rows ``[i0, i1)`` (band verification)."""
+        out = np.zeros((i1 - i0, self.cols))
+        for k, i in enumerate(range(i0, i1)):
+            out[k] = self.mem.read(self.addr(i, 0), self.cols)
+        return out
+
+
+class Grid3D:
+    """A 3D grid with halo: ``depth`` planes of a 2D layout."""
+
+    def __init__(
+        self,
+        mem: MemorySpace,
+        depth: int,
+        rows: int,
+        cols: int,
+        radius: int,
+        name: str,
+        fill: Optional[str] = None,
+        seed: int = 0,
+    ) -> None:
+        if depth <= 0 or rows <= 0 or cols <= 0:
+            raise ValueError("grid dimensions must be positive")
+        self.mem = mem
+        self.depth = depth
+        self.rows = rows
+        self.cols = cols
+        self.radius = radius
+        self.name = name
+        self.left_pad = _round_up(max(radius, 0), SVL_LANES) if radius else 0
+        self.row_stride = _round_up(self.left_pad + cols + radius, SVL_LANES)
+        self.total_rows = rows + 2 * radius
+        self.plane_stride = self.total_rows * self.row_stride
+        self.total_planes = depth + 2 * radius
+        skew = _name_skew_words(name)
+        raw = mem.alloc(
+            self.total_planes * self.plane_stride + skew + SVL_LANES,
+            name=name,
+            align=BASE_ALIGN_WORDS,
+        )
+        self.base = raw + skew
+        if fill == "random":
+            self.randomize(seed)
+        elif fill not in (None, "zero"):
+            raise ValueError(f"unknown fill mode {fill!r}")
+
+    def addr(self, z: int, i: int, j: int) -> int:
+        """Word address of interior cell ``(z, i, j)``."""
+        r = self.radius
+        if not -r <= z < self.depth + r:
+            raise IndexError(f"plane {z} outside grid+halo of {self.name}")
+        if not -r <= i < self.rows + r:
+            raise IndexError(f"row {i} outside grid+halo of {self.name}")
+        if not -self.left_pad <= j < self.row_stride - self.left_pad:
+            raise IndexError(f"col {j} outside padded row of {self.name}")
+        return (
+            self.base
+            + (z + r) * self.plane_stride
+            + (i + r) * self.row_stride
+            + self.left_pad
+            + j
+        )
+
+    @property
+    def words(self) -> int:
+        return self.total_planes * self.plane_stride
+
+    def randomize(self, seed: int = 0) -> None:
+        """Fill interior and halo with reproducible random values."""
+        rng = np.random.default_rng(seed)
+        r = self.radius
+        full = rng.uniform(
+            -1.0, 1.0, size=(self.total_planes, self.total_rows, self.cols + 2 * r)
+        )
+        self.set_full(full)
+
+    def set_full(self, array: np.ndarray) -> None:
+        """Write the logical (depth+2r, rows+2r, cols+2r) array."""
+        r = self.radius
+        array = np.asarray(array, dtype=np.float64)
+        expected = (self.total_planes, self.total_rows, self.cols + 2 * r)
+        if array.shape != expected:
+            raise ValueError(f"expected shape {expected}, got {array.shape}")
+        for lz in range(self.total_planes):
+            for li in range(self.total_rows):
+                self.mem.write(self.addr(lz - r, li - r, -r), array[lz, li])
+
+    def get_full(self) -> np.ndarray:
+        r = self.radius
+        out = np.zeros((self.total_planes, self.total_rows, self.cols + 2 * r))
+        for lz in range(self.total_planes):
+            for li in range(self.total_rows):
+                out[lz, li] = self.mem.read(self.addr(lz - r, li - r, -r), self.cols + 2 * r)
+        return out
+
+    def get_interior(self) -> np.ndarray:
+        out = np.zeros((self.depth, self.rows, self.cols))
+        for z in range(self.depth):
+            for i in range(self.rows):
+                out[z, i] = self.mem.read(self.addr(z, i, 0), self.cols)
+        return out
+
+    def plane_view(self, z: int) -> Tuple[int, int]:
+        """(base address of plane z's halo origin, row stride)."""
+        return self.addr(z, -self.radius, -self.radius), self.row_stride

@@ -1,0 +1,72 @@
+"""Named stencil benchmark suite (the workloads of the paper's evaluation).
+
+The evaluation exercises 2D and 3D star and box stencils at radii 1-4 plus
+the Heat-2D kernel; Figures 12-14 sweep this suite in-cache, Figures 15-16
+and Tables 3/7 use the ``box2d25p`` (r = 2 box) workload out-of-cache, and
+Figure 16 scales ``box2d9p`` to 32 cores.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from repro.stencils.spec import StencilSpec, box2d, box3d, heat2d, star2d, star3d
+
+#: Factory per benchmark name.  Factories are zero-argument so the registry
+#: stays cheap to import; specs are built on demand and cached.
+_FACTORIES: Dict[str, Callable[[], StencilSpec]] = {
+    "star2d5p": lambda: star2d(1),
+    "star2d9p": lambda: star2d(2),
+    "star2d13p": lambda: star2d(3),
+    "star2d17p": lambda: star2d(4),
+    "box2d9p": lambda: box2d(1),
+    "box2d25p": lambda: box2d(2),
+    "box2d49p": lambda: box2d(3),
+    "box2d81p": lambda: box2d(4),
+    "star3d7p": lambda: star3d(1),
+    "star3d13p": lambda: star3d(2),
+    "box3d27p": lambda: box3d(1),
+    "box3d125p": lambda: box3d(2),
+    "heat2d": lambda: heat2d(),
+}
+
+_CACHE: Dict[str, StencilSpec] = {}
+
+#: In-cache 2D suite used by Figures 12a / 13 / 14.
+SUITE_2D: Tuple[str, ...] = (
+    "star2d5p",
+    "star2d9p",
+    "star2d13p",
+    "box2d9p",
+    "box2d25p",
+    "box2d49p",
+    "heat2d",
+)
+
+#: 3D suite used by Figure 12b.
+SUITE_3D: Tuple[str, ...] = ("star3d7p", "star3d13p", "box3d27p")
+
+#: All registered names, in registry order.
+BENCHMARKS: Tuple[str, ...] = tuple(_FACTORIES)
+
+
+def benchmark(name: str) -> StencilSpec:
+    """Look up a benchmark stencil by name (cached)."""
+    if name not in _FACTORIES:
+        raise KeyError(f"unknown stencil benchmark {name!r}; known: {sorted(_FACTORIES)}")
+    if name not in _CACHE:
+        _CACHE[name] = _FACTORIES[name]()
+    return _CACHE[name]
+
+
+def benchmark_names(pattern: str = "", ndim: int = 0) -> Tuple[str, ...]:
+    """Filter registered benchmarks by pattern and/or dimensionality."""
+    out = []
+    for name in BENCHMARKS:
+        spec = benchmark(name)
+        if pattern and spec.pattern != pattern:
+            continue
+        if ndim and spec.ndim != ndim:
+            continue
+        out.append(name)
+    return tuple(out)

@@ -1,0 +1,81 @@
+"""Vectorized NumPy reference stencils — the ground truth for every kernel.
+
+``reference_stencil_2d(full, spec)`` consumes the *logical full* array
+(interior plus halo of width ``r``) and returns the interior result.  It is
+implemented with shifted-slice accumulation, so it is fast enough to verify
+large bands and obviously correct by construction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.stencils.spec import StencilSpec
+
+
+def reference_stencil_2d(full: np.ndarray, spec: StencilSpec) -> np.ndarray:
+    """Apply a 2D stencil to a (rows+2r, cols+2r) array; return (rows, cols)."""
+    if spec.ndim != 2:
+        raise ValueError(f"{spec.name} is not a 2D stencil")
+    r = spec.radius
+    rows = full.shape[0] - 2 * r
+    cols = full.shape[1] - 2 * r
+    if rows <= 0 or cols <= 0:
+        raise ValueError(f"array {full.shape} too small for radius {r}")
+    out = np.zeros((rows, cols))
+    plane = spec.coeffs2d
+    for di in range(-r, r + 1):
+        for dj in range(-r, r + 1):
+            c = plane[di + r, dj + r]
+            if c == 0.0:
+                continue
+            out += c * full[r + di : r + di + rows, r + dj : r + dj + cols]
+    return out
+
+
+def reference_stencil_3d(full: np.ndarray, spec: StencilSpec) -> np.ndarray:
+    """Apply a 3D stencil to a (depth+2r, rows+2r, cols+2r) array."""
+    if spec.ndim != 3:
+        raise ValueError(f"{spec.name} is not a 3D stencil")
+    r = spec.radius
+    depth = full.shape[0] - 2 * r
+    rows = full.shape[1] - 2 * r
+    cols = full.shape[2] - 2 * r
+    if depth <= 0 or rows <= 0 or cols <= 0:
+        raise ValueError(f"array {full.shape} too small for radius {r}")
+    out = np.zeros((depth, rows, cols))
+    for dz, plane in spec.planes.items():
+        for di in range(-r, r + 1):
+            for dj in range(-r, r + 1):
+                c = plane[di + r, dj + r]
+                if c == 0.0:
+                    continue
+                out += c * full[
+                    r + dz : r + dz + depth,
+                    r + di : r + di + rows,
+                    r + dj : r + dj + cols,
+                ]
+    return out
+
+
+def apply_reference(full: np.ndarray, spec: StencilSpec) -> np.ndarray:
+    """Dispatch on the spec's dimensionality."""
+    if spec.ndim == 2:
+        return reference_stencil_2d(full, spec)
+    return reference_stencil_3d(full, spec)
+
+
+def iterate_reference(full: np.ndarray, spec: StencilSpec, steps: int) -> np.ndarray:
+    """Apply a 2D stencil ``steps`` times (halo kept fixed between steps).
+
+    Used by the heat-diffusion example to cross-check multi-step runs.
+    """
+    if spec.ndim != 2:
+        raise ValueError("iterate_reference supports 2D stencils only")
+    r = spec.radius
+    cur = np.array(full, dtype=np.float64)
+    for _ in range(steps):
+        interior = reference_stencil_2d(cur, spec)
+        cur = cur.copy()
+        cur[r:-r, r:-r] = interior
+    return cur

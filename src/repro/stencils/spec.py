@@ -1,0 +1,278 @@
+"""Stencil specifications: pattern, radius, coefficient planes.
+
+A stencil is described by one coefficient *plane* per ``dz`` offset:
+``planes[dz][di + r, dj + r]`` is the weight of input point
+``A[z + dz, i + di, j + dj]`` in output point ``B[z, i, j]`` (2D stencils
+have the single plane ``dz = 0``).  This is exactly the matrix form of the
+paper's Equation (3)/(4): box stencils have dense planes; star stencils'
+planes are the sparse axis-only forms whose low outer-product utilization
+motivates the hybrid kernel.
+
+The spec also exposes the *decompositions* the kernel generators build on:
+
+* :meth:`column` — one vertical coefficient vector per horizontal shift,
+  the per-input-row FMOPA coefficient of the outer-axis method;
+* :meth:`vertical_coeffs` / :meth:`horizontal_coeffs` — the star split used
+  by the hybrid kernels (outer products handle the vertical axis, vector
+  MLA handles the horizontal axis).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class StencilSpec:
+    """Immutable description of one stencil operator."""
+
+    name: str
+    pattern: str  # "star" or "box"
+    ndim: int  # 2 or 3
+    radius: int
+    #: dz -> (2r+1, 2r+1) coefficient plane.  2D stencils: {0: plane}.
+    planes: Dict[int, np.ndarray] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.pattern not in ("star", "box"):
+            raise ValueError(f"pattern must be 'star' or 'box', got {self.pattern!r}")
+        if self.ndim not in (2, 3):
+            raise ValueError(f"ndim must be 2 or 3, got {self.ndim}")
+        if self.radius < 1:
+            raise ValueError(f"radius must be >= 1, got {self.radius}")
+        side = 2 * self.radius + 1
+        if not self.planes:
+            raise ValueError("stencil needs at least one coefficient plane")
+        for dz, plane in self.planes.items():
+            if self.ndim == 2 and dz != 0:
+                raise ValueError("2D stencil can only have the dz=0 plane")
+            if abs(dz) > self.radius:
+                raise ValueError(f"plane offset {dz} exceeds radius {self.radius}")
+            if plane.shape != (side, side):
+                raise ValueError(
+                    f"plane {dz} must be {side}x{side}, got {plane.shape}"
+                )
+        if self.pattern == "star":
+            for dz, plane in self.planes.items():
+                r = self.radius
+                mask = np.ones_like(plane, dtype=bool)
+                if dz == 0:
+                    mask[r, :] = False
+                    mask[:, r] = False
+                else:
+                    # Off-center planes of a 3D star: only the axis point.
+                    mask[r, r] = False
+                if np.any(plane[mask] != 0.0):
+                    raise ValueError(f"star stencil has off-axis coefficients in plane {dz}")
+                if dz != 0:
+                    off_axis = plane.copy()
+                    off_axis[r, r] = 0.0
+                    if np.any(off_axis != 0.0):
+                        raise ValueError(
+                            f"star stencil plane {dz} may only have its center coefficient"
+                        )
+
+    # -- basic properties ----------------------------------------------------
+
+    @property
+    def side(self) -> int:
+        """Plane side length, ``2r + 1``."""
+        return 2 * self.radius + 1
+
+    @property
+    def coeffs2d(self) -> np.ndarray:
+        """The central (dz = 0) coefficient plane."""
+        return self.planes[0]
+
+    def taps(self) -> Iterator[Tuple[int, int, int, float]]:
+        """Yield every nonzero ``(dz, di, dj, coefficient)``."""
+        r = self.radius
+        for dz in sorted(self.planes):
+            plane = self.planes[dz]
+            for di in range(-r, r + 1):
+                for dj in range(-r, r + 1):
+                    c = float(plane[di + r, dj + r])
+                    if c != 0.0:
+                        yield (dz, di, dj, c)
+
+    @property
+    def num_points(self) -> int:
+        """Number of nonzero taps (the 'P' in Star-2D5P etc.)."""
+        return sum(1 for _ in self.taps())
+
+    @property
+    def flops_per_point(self) -> int:
+        """Useful flops per output point (one FMA per tap)."""
+        return 2 * self.num_points
+
+    # -- kernel-facing decompositions ------------------------------------------
+
+    def column(self, shift: int, dz: int = 0) -> np.ndarray:
+        """Vertical coefficient vector for horizontal shift ``shift``.
+
+        ``column(s)[di + r]`` weights input row ``i + di`` shifted by ``s``
+        columns — the FMOPA coefficient vector of the outer-axis method
+        (one outer product per shift, Equation 3).
+        """
+        r = self.radius
+        if abs(shift) > r:
+            raise ValueError(f"shift {shift} exceeds radius {r}")
+        return self.planes[dz][:, shift + r].copy()
+
+    def vertical_coeffs(self, dz: int = 0) -> np.ndarray:
+        """The on-axis vertical coefficients (``shift = 0`` column)."""
+        return self.column(0, dz=dz)
+
+    def horizontal_coeffs(self, dz: int = 0) -> np.ndarray:
+        """The on-axis horizontal coefficients (center row of the plane).
+
+        For the hybrid split the center element belongs to the *vertical*
+        part (it is in ``vertical_coeffs``), so callers that hand this row
+        to the vector unit must zero index ``r`` — see
+        :meth:`horizontal_offaxis_coeffs`.
+        """
+        return self.planes[dz][self.radius, :].copy()
+
+    def horizontal_offaxis_coeffs(self, dz: int = 0) -> np.ndarray:
+        """Center row with the center element zeroed.
+
+        This is the vector-MLA workload of the hybrid kernels: horizontal
+        neighbours only, since the ``shift = 0`` FMOPA already covers the
+        center column.
+        """
+        row = self.horizontal_coeffs(dz=dz)
+        row[self.radius] = 0.0
+        return row
+
+    def nonzero_shifts(self, dz: int = 0) -> Tuple[int, ...]:
+        """Horizontal shifts whose coefficient column is not all zero."""
+        r = self.radius
+        return tuple(
+            s for s in range(-r, r + 1) if np.any(self.planes[dz][:, s + r] != 0.0)
+        )
+
+    def plane_offsets(self) -> Tuple[int, ...]:
+        """The ``dz`` offsets present (sorted)."""
+        return tuple(sorted(self.planes))
+
+    def scaled(self, factor: float, name: Optional[str] = None) -> "StencilSpec":
+        """A copy with every coefficient multiplied by ``factor``."""
+        return StencilSpec(
+            name=name or f"{self.name}-scaled",
+            pattern=self.pattern,
+            ndim=self.ndim,
+            radius=self.radius,
+            planes={dz: plane * factor for dz, plane in self.planes.items()},
+        )
+
+
+# ---------------------------------------------------------------------------
+# Factories
+# ---------------------------------------------------------------------------
+
+
+def _coeff_values(n: int, seed: int) -> np.ndarray:
+    """Deterministic, distinct, well-conditioned coefficients.
+
+    Distinct values make tests catch transposed/reflected coefficient bugs
+    that symmetric choices would hide.
+    """
+    rng = np.random.default_rng(seed)
+    return rng.uniform(0.1, 1.0, size=n)
+
+
+def star2d(radius: int, coefficients: Optional[np.ndarray] = None, name: Optional[str] = None) -> StencilSpec:
+    """2D star stencil of ``4r + 1`` points.
+
+    ``coefficients`` (optional) is the full ``(2r+1, 2r+1)`` plane; the
+    default draws distinct deterministic values on the two axes.
+    """
+    side = 2 * radius + 1
+    if coefficients is None:
+        plane = np.zeros((side, side))
+        vals = _coeff_values(2 * side - 1, seed=101 + radius)
+        plane[radius, :] = vals[:side]
+        plane[:, radius] = vals[side - 1 :]
+    else:
+        plane = np.array(coefficients, dtype=np.float64)
+    return StencilSpec(
+        name=name or f"star2d{4 * radius + 1}p",
+        pattern="star",
+        ndim=2,
+        radius=radius,
+        planes={0: plane},
+    )
+
+
+def box2d(radius: int, coefficients: Optional[np.ndarray] = None, name: Optional[str] = None) -> StencilSpec:
+    """2D box stencil of ``(2r+1)^2`` points."""
+    side = 2 * radius + 1
+    if coefficients is None:
+        plane = _coeff_values(side * side, seed=202 + radius).reshape(side, side)
+    else:
+        plane = np.array(coefficients, dtype=np.float64)
+    return StencilSpec(
+        name=name or f"box2d{side * side}p",
+        pattern="box",
+        ndim=2,
+        radius=radius,
+        planes={0: plane},
+    )
+
+
+def star3d(radius: int, name: Optional[str] = None) -> StencilSpec:
+    """3D star stencil of ``6r + 1`` points (axis neighbours in x, y, z)."""
+    side = 2 * radius + 1
+    planes: Dict[int, np.ndarray] = {}
+    vals = _coeff_values(3 * side - 2, seed=303 + radius)
+    center_plane = np.zeros((side, side))
+    center_plane[radius, :] = vals[:side]
+    center_plane[:, radius] = vals[side - 1 : 2 * side - 1]
+    planes[0] = center_plane
+    k = 2 * side - 1
+    for dz in range(-radius, radius + 1):
+        if dz == 0:
+            continue
+        plane = np.zeros((side, side))
+        plane[radius, radius] = vals[k]
+        k += 1
+        planes[dz] = plane
+    return StencilSpec(
+        name=name or f"star3d{6 * radius + 1}p",
+        pattern="star",
+        ndim=3,
+        radius=radius,
+        planes=planes,
+    )
+
+
+def box3d(radius: int, name: Optional[str] = None) -> StencilSpec:
+    """3D box stencil of ``(2r+1)^3`` points."""
+    side = 2 * radius + 1
+    vals = _coeff_values(side**3, seed=404 + radius).reshape(side, side, side)
+    planes = {dz: vals[dz + radius].copy() for dz in range(-radius, radius + 1)}
+    return StencilSpec(
+        name=name or f"box3d{side**3}p",
+        pattern="box",
+        ndim=3,
+        radius=radius,
+        planes=planes,
+    )
+
+
+def heat2d(alpha: float = 0.125, name: str = "heat2d") -> StencilSpec:
+    """The Heat-2D stencil (explicit FTCS step).
+
+    ``B = (1 - 4*alpha) * C + alpha * (N + S + E + W)``.
+    """
+    plane = np.array(
+        [
+            [0.0, alpha, 0.0],
+            [alpha, 1.0 - 4.0 * alpha, alpha],
+            [0.0, alpha, 0.0],
+        ]
+    )
+    return StencilSpec(name=name, pattern="star", ndim=2, radius=1, planes={0: plane})

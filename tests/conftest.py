@@ -1,0 +1,21 @@
+"""Shared fixtures for the test suite (helpers live in tests/helpers.py)."""
+
+import pytest
+
+from repro.machine.config import LX2, M4, MachineConfig
+from repro.machine.memory import MemorySpace
+
+
+@pytest.fixture(scope="session")
+def lx2() -> MachineConfig:
+    return LX2()
+
+
+@pytest.fixture(scope="session")
+def m4() -> MachineConfig:
+    return M4()
+
+
+@pytest.fixture()
+def mem() -> MemorySpace:
+    return MemorySpace()

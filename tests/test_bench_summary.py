@@ -1,0 +1,48 @@
+"""Results-summary aggregation tool."""
+
+import pathlib
+
+from repro.bench.summary import ORDER, collect_summary, default_results_dir, load_tables
+
+
+def test_order_covers_all_experiments():
+    names = set(ORDER)
+    for required in (
+        "fig03_ilp",
+        "tab01_utilization",
+        "tab02_ipc",
+        "tab03_cache_hit",
+        "tab05_instr_ratio",
+        "tab07_prefetch_cache",
+        "fig12_incache",
+        "fig13_breakdown",
+        "fig14_ipc",
+        "fig15_outofcache",
+        "fig16_multicore",
+        "fig17_m4_incache",
+        "fig18_m4_outofcache",
+    ):
+        assert required in names
+
+
+def test_missing_dir_reports_gracefully(tmp_path):
+    out = collect_summary(tmp_path / "nope")
+    assert "no benchmark results" in out
+
+
+def test_collects_in_order(tmp_path):
+    (tmp_path / "tab01_utilization.txt").write_text("TABLE-ONE")
+    (tmp_path / "fig03_ilp.txt").write_text("FIGURE-THREE")
+    (tmp_path / "custom_extra.txt").write_text("EXTRA")
+    out = collect_summary(tmp_path)
+    assert out.index("FIGURE-THREE") < out.index("TABLE-ONE") < out.index("EXTRA")
+    assert "not yet generated" in out
+
+
+def test_load_tables_strips(tmp_path):
+    (tmp_path / "a.txt").write_text("hello\n\n")
+    assert load_tables(tmp_path) == {"a": "hello"}
+
+
+def test_default_dir_points_into_repo():
+    assert default_results_dir().parts[-2:] == ("benchmarks", "results")

@@ -1,0 +1,83 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_methods_lists_registry(capsys):
+    assert main(["methods"]) == 0
+    out = capsys.readouterr().out
+    assert "hstencil" in out
+    assert "star2d5p" in out
+    assert "lx2" in out
+
+
+def test_bench_prints_counters(capsys):
+    assert main(["bench", "--stencil", "star2d5p", "--size", "32x32"]) == 0
+    out = capsys.readouterr().out
+    assert "IPC" in out
+    assert "cyc/pt" in out
+
+
+def test_compare_normalizes(capsys):
+    code = main(
+        [
+            "compare",
+            "--stencil",
+            "box2d9p",
+            "--size",
+            "64x64",
+            "--methods",
+            "auto,hstencil",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "1.00x" in out
+    assert "hstencil" in out
+
+
+def test_compare_skips_inapplicable(capsys):
+    main(["compare", "--stencil", "box2d9p", "--size", "32x32", "--methods", "mat-ortho"])
+    out = capsys.readouterr().out
+    assert "skipped" in out
+
+
+def test_listing(capsys):
+    assert main(["listing", "--stencil", "star2d5p", "--size", "16x16", "--unroll", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "fmopa" in out
+
+
+def test_verify_ok(capsys):
+    assert main(["verify", "--stencil", "star2d9p", "--size", "16x32", "--unroll", "2"]) == 0
+    assert "OK" in capsys.readouterr().out
+
+
+def test_verify_3d(capsys):
+    assert main(["verify", "--stencil", "star3d7p", "--size", "4x16x32", "--unroll", "2"]) == 0
+    assert "OK" in capsys.readouterr().out
+
+
+def test_scaling(capsys):
+    code = main(
+        ["scaling", "--stencil", "box2d9p", "--size", "256", "--cores", "1,2", "--method", "hstencil"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "GStencil/s" in out
+
+
+def test_square_size_shorthand(capsys):
+    assert main(["verify", "--stencil", "star2d5p", "--size", "16", "--unroll", "2"]) == 0
+
+
+def test_bad_machine():
+    with pytest.raises(SystemExit):
+        main(["bench", "--machine", "sparc"])
+
+
+def test_bad_size_rank():
+    with pytest.raises(SystemExit):
+        main(["verify", "--stencil", "star3d7p", "--size", "16x16"])

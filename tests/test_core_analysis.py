@@ -1,0 +1,85 @@
+"""Analytic models: Table 1 utilization, Table 5 ratios, overhead equations."""
+
+import pytest
+
+from repro.core.analysis import (
+    instruction_cycle_ratio,
+    overhead_model,
+    single_register_utilization,
+    utilization_table,
+)
+from repro.machine.config import LX2
+from repro.stencils.spec import box2d, star2d
+
+
+class TestUtilization:
+    def test_box_outer_axis(self):
+        # r=2 box: every shift keeps 5 of 8 tile rows.
+        assert single_register_utilization(box2d(2), "outer") == pytest.approx(5 / 8)
+        assert single_register_utilization(box2d(1), "outer") == pytest.approx(3 / 8)
+
+    def test_star_outer_axis_is_poor(self):
+        # r=2 star: center column 5/8, four single-row shifts 1/8 each.
+        expect = (5 + 4 * 1) / (5 * 8)
+        assert single_register_utilization(star2d(2), "outer") == pytest.approx(expect)
+
+    def test_star_outer_inner_recovers(self):
+        u_outer = single_register_utilization(star2d(2), "outer")
+        u_ortho = single_register_utilization(star2d(2), "outer+inner")
+        assert u_ortho > 2 * u_outer
+
+    def test_table1_ordering(self):
+        """Table 1's qualitative content: box ~= ortho-star >> outer-star."""
+        table = utilization_table(2)
+        assert table["Outer-axis (Star)"] < 0.25
+        assert table["Outer-axis (Box)"] > 2 * table["Outer-axis (Star)"]
+        assert table["Outer&inner-axis (Star)"] > 2 * table["Outer-axis (Star)"]
+
+    def test_ortho_on_box_rejected(self):
+        with pytest.raises(ValueError):
+            single_register_utilization(box2d(1), "outer+inner")
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError):
+            single_register_utilization(star2d(1), "diagonal")
+
+
+class TestInstructionCycleRatio:
+    def test_matrix_only_matches_table5(self):
+        """Table 5 row 1: 'Matrix Star & Box: 40 / 0'."""
+        m_star, v_star = instruction_cycle_ratio(star2d(2), LX2(), "matrix-only")
+        m_box, v_box = instruction_cycle_ratio(box2d(2), LX2(), "matrix-only")
+        assert (m_star, v_star) == (40.0, 0.0)
+        assert (m_box, v_box) == (40.0, 0.0)
+
+    def test_hybrid_star_vector_dominant(self):
+        """Table 5 row 2: the star hybrid is vector-cycle dominated."""
+        m, v = instruction_cycle_ratio(star2d(2), LX2(), "hstencil")
+        assert v > m
+        assert m == 16.0  # vertical + in-place accumulate per 8 rows
+
+    def test_hybrid_box_matrix_dominant(self):
+        """Table 5 row 3: the box hybrid keeps matrix cycles dominant."""
+        m, v = instruction_cycle_ratio(box2d(2), LX2(), "hstencil")
+        assert m == 40.0
+        assert 0 < v < m
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError):
+            instruction_cycle_ratio(star2d(1), LX2(), "bogus")
+
+
+class TestOverheadModel:
+    def test_equations_5_to_8(self):
+        model = overhead_model(LX2())
+        # Eq 7/8: 3 loads + 2 stores vs 2 loads + 1 store
+        assert model.naive_memory_ops == (3, 2)
+        assert model.inplace_memory_ops == (2, 1)
+        assert model.naive_memory_cycles > model.inplace_memory_cycles
+        # Eq 5/6: naive pays m2v + add; in-place pays one outer product
+        assert model.naive_compute_overhead > model.inplace_compute_overhead
+
+    def test_mova_dominates_naive_overhead(self):
+        model = overhead_model(LX2())
+        cfg = LX2()
+        assert model.naive_compute_overhead >= cfg.latencies["mova.tv"].latency

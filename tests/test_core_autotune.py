@@ -1,0 +1,46 @@
+"""Replacement-knob autotuner."""
+
+from repro.core.autotune import autotune_replacement
+from repro.kernels.base import KernelOptions
+from repro.machine.config import LX2
+from repro.machine.memory import MemorySpace
+from repro.machine.timing import TimingEngine
+from repro.kernels.registry import make_kernel
+from repro.stencils.grid import Grid2D
+from repro.stencils.spec import box2d, star2d, star3d
+
+
+def test_non_star_returned_unchanged():
+    base = KernelOptions(unroll_j=2)
+    assert autotune_replacement(box2d(2), LX2(), base) is base
+    assert autotune_replacement(star3d(1), LX2(), base) is base
+
+
+def test_tuned_options_have_concrete_knobs():
+    tuned = autotune_replacement(star2d(2), LX2(), KernelOptions(unroll_j=2))
+    assert tuned.mla_rollback is not None
+    assert tuned.ext_to_load is not None
+
+
+def test_result_cached():
+    base = KernelOptions(unroll_j=2)
+    a = autotune_replacement(star2d(2), LX2(), base)
+    b = autotune_replacement(star2d(2), LX2(), base)
+    assert a is b
+
+
+def test_tuned_not_slower_than_default_plan():
+    """The tuner's pick must beat (or tie) the formula plan on its proxy."""
+    spec = star2d(2)
+    base = KernelOptions(unroll_j=2)
+    tuned = autotune_replacement(spec, LX2(), base, proxy_rows=32)
+    engine = TimingEngine(LX2())
+
+    def cycles(options):
+        mem = MemorySpace()
+        src = Grid2D(mem, 32, 32, spec.radius, "A")
+        dst = Grid2D(mem, 32, 32, spec.radius, "B")
+        kernel = make_kernel("hstencil", spec, src, dst, LX2(), options)
+        return engine.run(kernel, warm=True).cycles
+
+    assert cycles(tuned) <= cycles(base) * 1.001

@@ -1,0 +1,112 @@
+"""HStencil facade: apply / benchmark / listing / validation."""
+
+import numpy as np
+import pytest
+
+from repro import HStencil, KernelOptions, LX2, M4
+from repro.stencils.reference import apply_reference
+from repro.stencils.spec import box2d, heat2d, star2d, star3d
+
+
+class TestApply:
+    def test_apply_matches_reference(self):
+        spec = star2d(2)
+        hs = HStencil(spec)
+        field = np.random.default_rng(0).random((20, 36))
+        out = hs.apply(field)
+        assert out.shape == (16, 32)
+        assert np.allclose(out, apply_reference(field, spec), rtol=1e-12)
+
+    def test_apply_3d(self):
+        spec = star3d(1)
+        hs = HStencil(spec, options=KernelOptions(unroll_j=2))
+        field = np.random.default_rng(1).random((6, 10, 18))
+        out = hs.apply(field)
+        assert out.shape == (4, 8, 16)
+        assert np.allclose(out, apply_reference(field, spec), rtol=1e-12)
+
+    def test_apply_verbose_metadata(self):
+        hs = HStencil(star2d(1))
+        field = np.random.default_rng(2).random((10, 34))
+        res = hs.apply_verbose(field)
+        assert res.kernel_name == "hstencil"
+        assert res.instructions_executed > 0
+
+    def test_apply_m4_machine(self):
+        spec = star2d(1)
+        hs = HStencil(spec, machine=M4())
+        field = np.random.default_rng(3).random((10, 34))
+        out = hs.apply(field)
+        assert np.allclose(out, apply_reference(field, spec), rtol=1e-12)
+
+    def test_every_method_through_facade(self):
+        field = np.random.default_rng(4).random((20, 36))
+        spec = star2d(2)
+        ref = apply_reference(field, spec)
+        for method in ("auto", "vector-only", "matrix-only", "hstencil"):
+            out = HStencil(spec, method=method).apply(field)
+            assert np.allclose(out, ref, rtol=1e-11), method
+
+    def test_wrong_dimensionality_rejected(self):
+        hs = HStencil(star2d(1))
+        with pytest.raises(ValueError):
+            hs.apply(np.zeros((4, 4, 4)))
+
+    def test_too_small_field_rejected(self):
+        hs = HStencil(star2d(2))
+        with pytest.raises(ValueError):
+            hs.apply(np.zeros((4, 4)))
+
+    def test_arbitrary_interior_sizes_supported(self):
+        """The hstencil kernel predicates tail bands/tiles (no /8 rule)."""
+        spec = star2d(1)
+        field = np.random.default_rng(9).random((12, 15))  # interior 10x13
+        out = HStencil(spec).apply(field)
+        assert out.shape == (10, 13)
+        assert np.allclose(out, apply_reference(field, spec), rtol=1e-11)
+
+    def test_comparison_kernels_still_require_conforming_sizes(self):
+        hs = HStencil(star2d(1), method="matrix-only")
+        with pytest.raises(ValueError, match="multiple"):
+            hs.apply(np.zeros((10, 12)))  # interior 8x10, not /32
+
+
+class TestBenchmark:
+    def test_benchmark_counters(self):
+        hs = HStencil(heat2d())
+        pc = hs.benchmark(64, 64)
+        assert pc.points == 64 * 64
+        assert pc.cycles > 0
+        assert "hstencil" in pc.label
+
+    def test_methods_rank_as_expected_in_cache(self):
+        """The headline ordering: hstencil > matrix-only > auto."""
+        results = {}
+        for method in ("auto", "matrix-only", "hstencil"):
+            results[method] = HStencil(box2d(2), method=method).benchmark(128, 128)
+        assert results["hstencil"].cycles < results["matrix-only"].cycles
+        assert results["matrix-only"].cycles < results["auto"].cycles
+
+    def test_ipc_ordering(self):
+        """Figure 14: the hybrid kernel has the highest IPC."""
+        hst = HStencil(star2d(2), method="hstencil").benchmark(128, 128)
+        mat = HStencil(star2d(2), method="matrix-only").benchmark(128, 128)
+        assert hst.ipc > mat.ipc
+        assert hst.ipc > 2.0
+
+
+class TestListing:
+    def test_listing_contains_preamble_and_block(self):
+        hs = HStencil(star2d(1), options=KernelOptions(unroll_j=2))
+        text = hs.listing(16, 16)
+        assert "// preamble" in text
+        assert "fmopa" in text
+
+    def test_listing_parses_back(self):
+        from repro.isa.asm import parse_trace
+
+        hs = HStencil(star2d(1), options=KernelOptions(unroll_j=2))
+        text = hs.listing(16, 16)
+        body = text.split("// block")[1].split("\n", 1)[1]
+        trace = parse_trace(body)
+        assert len(trace) > 20

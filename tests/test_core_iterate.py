@@ -1,0 +1,86 @@
+"""StencilIterator: multi-step ping-pong iteration."""
+
+import numpy as np
+import pytest
+
+from repro import KernelOptions, StencilIterator
+from repro.stencils.reference import iterate_reference
+from repro.stencils.spec import box2d, heat2d, star2d, star3d
+
+
+def test_matches_reference_iteration():
+    spec = heat2d()
+    it = StencilIterator(spec, options=KernelOptions(unroll_j=2))
+    field = np.random.default_rng(0).random((18, 34))
+    got = it.run(field, steps=4)
+    ref = iterate_reference(field, spec, 4)
+    assert np.allclose(got, ref, rtol=1e-10)
+
+
+def test_zero_steps_identity():
+    it = StencilIterator(star2d(1), options=KernelOptions(unroll_j=2))
+    field = np.random.default_rng(1).random((18, 34))
+    assert np.array_equal(it.run(field, 0), field)
+
+
+def test_halo_unchanged():
+    spec = heat2d()
+    it = StencilIterator(spec, options=KernelOptions(unroll_j=2))
+    field = np.random.default_rng(2).random((18, 34))
+    got = it.run(field, 3)
+    assert np.array_equal(got[0], field[0])
+    assert np.array_equal(got[:, 0], field[:, 0])
+
+
+def test_odd_and_even_step_counts():
+    spec = star2d(1)
+    it = StencilIterator(spec, options=KernelOptions(unroll_j=2))
+    field = np.random.default_rng(3).random((18, 34))
+    for steps in (1, 2, 3):
+        got = it.run(field, steps)
+        ref = iterate_reference(field, spec, steps)
+        assert np.allclose(got, ref, rtol=1e-10), steps
+
+
+def test_compilation_reused_across_runs():
+    it = StencilIterator(star2d(1), options=KernelOptions(unroll_j=2))
+    field = np.random.default_rng(4).random((18, 34))
+    it.run(field, 1)
+    kernels = it._kernels
+    it.run(field, 2)
+    assert it._kernels is kernels  # same compiled pair
+
+
+def test_box_stencil_iteration():
+    spec = box2d(1)
+    it = StencilIterator(spec, options=KernelOptions(unroll_j=2))
+    field = np.random.default_rng(5).random((18, 34))
+    got = it.run(field, 2)
+    ref = iterate_reference(field, spec, 2)
+    assert np.allclose(got, ref, rtol=1e-10)
+
+
+def test_time_steps_counters():
+    it = StencilIterator(heat2d(), options=KernelOptions(unroll_j=2))
+    pc = it.time_steps(32, 32, steps=2)
+    assert pc.points == 2 * 32 * 32
+    assert pc.cycles > 0
+    # Steady-state per-step cost is below a cold single run's.
+    assert pc.cycles_per_point < 3.0
+
+
+def test_3d_rejected():
+    with pytest.raises(ValueError):
+        StencilIterator(star3d(1))
+
+
+def test_negative_steps_rejected():
+    it = StencilIterator(star2d(1))
+    with pytest.raises(ValueError):
+        it.run(np.zeros((10, 34)), -1)
+
+
+def test_too_small_field_rejected():
+    it = StencilIterator(star2d(2))
+    with pytest.raises(ValueError):
+        it.run(np.zeros((4, 4)), 1)

@@ -1,0 +1,104 @@
+"""Temporal blocking: wavefront schedule and functional equivalence."""
+
+import numpy as np
+import pytest
+
+from repro.core.iterate import StencilIterator
+from repro.core.temporal import WAVEFRONT_LAG, TemporalBlockedIterator
+from repro.kernels.base import KernelOptions
+from repro.stencils.reference import iterate_reference
+from repro.stencils.spec import box2d, heat2d, star2d, star3d
+
+
+def make(spec, **kw):
+    return TemporalBlockedIterator(spec, options=KernelOptions(unroll_j=2), **kw)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("steps", [1, 2, 3, 5])
+    def test_matches_plain_iteration(self, steps):
+        spec = heat2d()
+        field = np.random.default_rng(0).random((34, 34))
+        fused = make(spec).run(field, steps)
+        ref = iterate_reference(field, spec, steps)
+        assert np.allclose(fused, ref, rtol=1e-10)
+
+    def test_radius2_star(self):
+        spec = star2d(2)
+        field = np.random.default_rng(1).random((36, 36))
+        fused = make(spec).run(field, 4)
+        ref = iterate_reference(field, spec, 4)
+        assert np.allclose(fused, ref, rtol=1e-10)
+
+    def test_box_stencil(self):
+        spec = box2d(2)
+        field = np.random.default_rng(2).random((28, 52))
+        fused = make(spec).run(field, 3)
+        ref = iterate_reference(field, spec, 3)
+        assert np.allclose(fused, ref, rtol=1e-10)
+
+    def test_equals_stencil_iterator(self):
+        spec = star2d(1)
+        field = np.random.default_rng(3).random((26, 42))
+        fused = make(spec).run(field, 4)
+        plain = StencilIterator(spec, options=KernelOptions(unroll_j=2)).run(field, 4)
+        assert np.allclose(fused, plain, rtol=1e-12)
+
+    def test_zero_steps(self):
+        spec = heat2d()
+        field = np.random.default_rng(4).random((20, 20))
+        assert np.array_equal(make(spec).run(field, 0), field)
+
+    def test_odd_grid_sizes(self):
+        spec = star2d(1)
+        field = np.random.default_rng(5).random((23, 37))
+        fused = make(spec).run(field, 3)
+        ref = iterate_reference(field, spec, 3)
+        assert np.allclose(fused, ref, rtol=1e-10)
+
+
+class TestSchedule:
+    def test_wavefront_covers_all_units_once(self):
+        it = make(heat2d())
+        it._ensure_compiled(64, 32)
+        sched = it._schedule(steps=3)
+        n_bands = len(it._bands[0])
+        assert len(sched) == 3 * n_bands
+        assert len(set(sched)) == len(sched)
+
+    def test_wavefront_dependency_order(self):
+        """Step t at band b runs after step t-1 at bands <= b + 1,
+        and before step t+1 reaches band b - 1 (read-safety lag)."""
+        it = make(heat2d())
+        it._ensure_compiled(64, 32)
+        sched = it._schedule(steps=4)
+        position = {unit: n for n, unit in enumerate(sched)}
+        n_bands = len(it._bands[0])
+        for t in range(1, 4):
+            for b in range(n_bands):
+                for need in range(max(0, b - 1), min(n_bands, b + 2)):
+                    assert position[(t - 1, need)] < position[(t, b)]
+
+    def test_lag_respects_radius(self):
+        # lag * band height must exceed the largest supported radius
+        from repro.isa.registers import SVL_LANES
+
+        assert WAVEFRONT_LAG * SVL_LANES > SVL_LANES  # radius <= 8
+
+
+class TestValidation:
+    def test_3d_rejected(self):
+        with pytest.raises(ValueError):
+            TemporalBlockedIterator(star3d(1))
+
+    def test_negative_steps(self):
+        it = make(heat2d())
+        with pytest.raises(ValueError):
+            it.run(np.zeros((20, 20)), -1)
+
+    def test_timing_counters(self):
+        it = make(heat2d())
+        pc = it.time_steps(32, 32, steps=2)
+        assert pc.points == 2 * 32 * 32
+        assert pc.cycles > 0
+        assert "temporal" in pc.label

@@ -1,0 +1,91 @@
+"""End-to-end integration tests: the paper's claims in miniature.
+
+Small/fast versions of the benchmark suite's shape assertions, so a plain
+``pytest tests/`` run already guards the reproduction's headline results.
+"""
+
+import pytest
+
+from repro.bench.runner import ExperimentRunner
+from repro.machine.config import LX2, M4
+
+
+@pytest.fixture(scope="module")
+def lx2_runner():
+    return ExperimentRunner(LX2())
+
+
+@pytest.fixture(scope="module")
+def m4_runner():
+    return ExperimentRunner(M4())
+
+
+SHAPE = (64, 64)
+
+
+class TestInCacheClaims:
+    def test_hstencil_beats_matrix_only_on_star(self, lx2_runner):
+        sp = lx2_runner.speedups(["matrix-only", "hstencil"], "star2d9p", SHAPE)
+        assert sp["hstencil"] > sp["matrix-only"] > 1.0
+
+    def test_hstencil_beats_matrix_only_on_box(self, lx2_runner):
+        sp = lx2_runner.speedups(["matrix-only", "hstencil"], "box2d25p", SHAPE)
+        assert sp["hstencil"] > sp["matrix-only"] > 1.0
+
+    def test_scheduling_improves_both_patterns(self, lx2_runner):
+        for stencil in ("star2d9p", "box2d25p"):
+            sp = lx2_runner.speedups(["hstencil-nosched", "hstencil"], stencil, SHAPE)
+            assert sp["hstencil"] > sp["hstencil-nosched"], stencil
+
+    def test_mat_ortho_loses_to_auto_on_star(self, lx2_runner):
+        sp = lx2_runner.speedups(["mat-ortho"], "star2d9p", SHAPE)
+        assert sp["mat-ortho"] < 1.1
+
+    def test_hstencil_has_highest_ipc(self, lx2_runner):
+        cells = lx2_runner.sweep(
+            ["vector-only", "matrix-only", "hstencil"], "star2d9p", SHAPE
+        )
+        ipc = {m: c.counters.ipc for m, c in cells.items()}
+        assert ipc["hstencil"] > ipc["vector-only"]
+        assert ipc["hstencil"] > ipc["matrix-only"]
+
+    def test_naive_hybrid_slower_than_inplace(self, lx2_runner):
+        sp = lx2_runner.speedups(["hstencil-naive", "hstencil-nosched"], "star2d9p", SHAPE)
+        assert sp["hstencil-nosched"] > sp["hstencil-naive"]
+
+
+class TestOutOfCacheClaims:
+    SHAPE_BIG = (1024, 1024)
+
+    def test_prefetch_beats_noprefetch(self, lx2_runner):
+        sp = lx2_runner.speedups(
+            ["hstencil-noprefetch", "hstencil-prefetch"], "box2d25p", self.SHAPE_BIG
+        )
+        assert sp["hstencil-prefetch"] > sp["hstencil-noprefetch"]
+
+    def test_hstencil_prefetch_beats_stop(self, lx2_runner):
+        sp = lx2_runner.speedups(
+            ["matrix-only", "hstencil-prefetch"], "box2d25p", self.SHAPE_BIG
+        )
+        assert sp["hstencil-prefetch"] > 1.2 * sp["matrix-only"]
+
+    def test_vector_method_keeps_high_l1(self, lx2_runner):
+        vec = lx2_runner.measure("vector-only", "box2d25p", self.SHAPE_BIG).counters
+        mat = lx2_runner.measure("matrix-only", "box2d25p", self.SHAPE_BIG).counters
+        assert vec.l1_demand_hit_rate > 0.95
+        assert mat.l1_demand_hit_rate < vec.l1_demand_hit_rate
+
+
+class TestM4PortabilityClaims:
+    def test_star_routes_to_mmla_and_wins(self, m4_runner):
+        sp = m4_runner.speedups(["hstencil"], "star2d9p", SHAPE)
+        assert sp["hstencil"] > 1.0
+
+    def test_box_wins_more_than_star(self, m4_runner):
+        star = m4_runner.speedups(["hstencil"], "star2d9p", SHAPE)["hstencil"]
+        box = m4_runner.speedups(["hstencil"], "box2d25p", SHAPE)["hstencil"]
+        assert box > star
+
+    def test_vector_only_unavailable(self, m4_runner):
+        cells = m4_runner.sweep(["vector-only"], "star2d9p", SHAPE)
+        assert cells == {}

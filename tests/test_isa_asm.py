@@ -1,0 +1,114 @@
+"""Assembly formatting and round-trip parsing."""
+
+import pytest
+
+from repro.isa.asm import AsmSyntaxError, format_instruction, format_trace, parse_instruction, parse_trace
+from repro.isa.instructions import (
+    DUP,
+    EXT,
+    FADD_V,
+    FMLA,
+    FMLA_IDX,
+    FMLA_M,
+    FMOPA,
+    FMUL_IDX,
+    LD1D,
+    LD1D_STRIDED,
+    MOVA_TILE_TO_VEC,
+    MOVA_VEC_TO_TILE,
+    PRFM,
+    SCALAR_OP,
+    SET_LANES,
+    ST1D,
+    ST1D_SLICE,
+    ZERO_TILE,
+)
+from repro.isa.registers import TileReg, VReg
+
+ALL_EXAMPLES = [
+    LD1D(VReg(0), 1024),
+    LD1D_STRIDED(VReg(1), 2048, stride=136),
+    ST1D(VReg(2), 4096),
+    ST1D_SLICE(TileReg(3), 5, 8192),
+    PRFM(1234, level=1, write=False),
+    PRFM(1234, level=2, write=True, length=4),
+    FMLA(VReg(3), VReg(4), VReg(5)),
+    FMLA_IDX(VReg(3), VReg(4), VReg(5), 6),
+    FMUL_IDX(VReg(3), VReg(4), VReg(5), 0),
+    FADD_V(VReg(6), VReg(7), VReg(8)),
+    EXT(VReg(9), VReg(10), VReg(11), 3),
+    DUP(VReg(12), 2.5),
+    SET_LANES(VReg(13), (0.5, 1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 2.0)),
+    FMOPA(TileReg(0), VReg(14), VReg(15)),
+    FMOPA(TileReg(1), VReg(16), VReg(17), rows=(0, 4, 7)),
+    FMOPA(TileReg(2), VReg(18), VReg(19), rows=(1,), useful_cols=(2, 3)),
+    ZERO_TILE(TileReg(4)),
+    MOVA_TILE_TO_VEC(VReg(20), TileReg(5), 6),
+    MOVA_VEC_TO_TILE(TileReg(6), 7, VReg(21)),
+    FMLA_M(TileReg(7), VReg(8), VReg(22), 3),
+    SCALAR_OP(kind="loop"),
+]
+
+
+@pytest.mark.parametrize("ins", ALL_EXAMPLES, ids=lambda i: type(i).__name__)
+def test_roundtrip(ins):
+    text = format_instruction(ins)
+    back = parse_instruction(text)
+    assert format_instruction(back) == text
+    assert type(back) is type(ins)
+
+
+def test_roundtrip_preserves_dependencies():
+    for ins in ALL_EXAMPLES:
+        back = parse_instruction(format_instruction(ins))
+        assert back.reads() == ins.reads()
+        assert back.writes() == ins.writes()
+
+
+def test_format_trace_numbered():
+    text = format_trace(ALL_EXAMPLES[:3], numbered=True)
+    lines = text.splitlines()
+    assert lines[0].startswith("0:")
+    assert len(lines) == 3
+
+
+def test_parse_trace_skips_comments_and_blanks():
+    text = """
+    // a comment
+    ld1d z0, [512]
+
+    fmla z1, z2, z3  // trailing comment
+    """
+    trace = parse_trace(text)
+    assert len(trace) == 2
+    assert isinstance(trace[0], LD1D)
+    assert isinstance(trace[1], FMLA)
+
+
+def test_parse_numbered_listing_lines():
+    ins = parse_instruction("12:  ld1d z5, [99]")
+    assert isinstance(ins, LD1D)
+    assert ins.addr == 99
+
+
+def test_parse_errors():
+    with pytest.raises(AsmSyntaxError):
+        parse_instruction("bogus z0, z1")
+    with pytest.raises(AsmSyntaxError):
+        parse_instruction("ld1d q0, [10]")
+    with pytest.raises(AsmSyntaxError):
+        parse_instruction("ld1d z0, 10")  # missing brackets
+    with pytest.raises(AsmSyntaxError):
+        parse_instruction("")
+
+
+def test_fmopa_sparse_rows_visible_in_text():
+    ins = FMOPA(TileReg(0), VReg(1), VReg(2), rows=(2, 5))
+    assert "rows={2,5}" in format_instruction(ins)
+
+
+def test_fmopa_cols_only_when_sparse():
+    dense = FMOPA(TileReg(0), VReg(1), VReg(2))
+    assert "cols=" not in format_instruction(dense)
+    sparse = FMOPA(TileReg(0), VReg(1), VReg(2), useful_cols=(1,))
+    assert "cols={1}" in format_instruction(sparse)

@@ -1,0 +1,98 @@
+"""Trace / loop-nest / kernel container tests."""
+
+from repro.isa.instructions import FMLA, FMOPA, LD1D, PortClass, ST1D
+from repro.isa.program import KernelBlock, LoopNest, Trace, concat_traces
+from repro.isa.registers import TileReg, VReg
+from repro.kernels.base import GroupedTrace
+
+
+def _sample_trace() -> Trace:
+    return Trace(
+        [
+            LD1D(VReg(0), 100),
+            LD1D(VReg(1), 108),
+            FMLA(VReg(2), VReg(0), VReg(1)),
+            FMOPA(TileReg(0), VReg(0), VReg(1), rows=(0, 1)),
+            ST1D(VReg(2), 200),
+        ]
+    )
+
+
+class TestTrace:
+    def test_port_counts(self):
+        counts = _sample_trace().port_counts()
+        assert counts[PortClass.LOAD] == 2
+        assert counts[PortClass.VECTOR] == 1
+        assert counts[PortClass.MATRIX] == 1
+        assert counts[PortClass.STORE] == 1
+
+    def test_flops_and_useful_flops(self):
+        t = _sample_trace()
+        assert t.flops() == 16 + 128
+        assert t.useful_flops() == 16 + 2 * 2 * 8
+
+    def test_memory_words(self):
+        loads, stores = _sample_trace().memory_words()
+        assert loads == 16
+        assert stores == 8
+
+    def test_concatenation(self):
+        t = _sample_trace()
+        both = t + t
+        assert len(both) == 2 * len(t)
+        assert isinstance(both, Trace)
+        cat = concat_traces([t, t, t])
+        assert len(cat) == 3 * len(t)
+
+
+class TestLoopNest:
+    def _nest(self):
+        blocks = [KernelBlock(key=(b, p), points=64) for b in range(3) for p in range(4)]
+        return LoopNest(shape=(3, 4), blocks=blocks)
+
+    def test_total_points(self):
+        assert self._nest().total_points() == 3 * 4 * 64
+
+    def test_iteration_order_preserved(self):
+        keys = [b.key for b in self._nest()]
+        assert keys[0] == (0, 0)
+        assert keys[4] == (1, 0)
+
+    def test_bands_group_by_outer_index(self):
+        bands = self._nest().bands()
+        assert len(bands) == 3
+        assert all(len(band) == 4 for band in bands)
+        assert all(b.key[0] == 1 for b in bands[1])
+
+    def test_len(self):
+        assert len(self._nest()) == 12
+
+
+class TestGroupedTrace:
+    def test_bodies_split_at_marks(self):
+        g = GroupedTrace()
+        g.append(LD1D(VReg(0), 0))
+        g.append(LD1D(VReg(1), 8))
+        g.mark()
+        g.append(ST1D(VReg(0), 16))
+        g.mark()
+        bodies = g.bodies()
+        assert [len(b) for b in bodies] == [2, 1]
+
+    def test_trailing_instructions_form_last_body(self):
+        g = GroupedTrace()
+        g.append(LD1D(VReg(0), 0))
+        g.mark()
+        g.append(ST1D(VReg(0), 8))
+        bodies = g.bodies()
+        assert [len(b) for b in bodies] == [1, 1]
+
+    def test_duplicate_marks_collapse(self):
+        g = GroupedTrace()
+        g.append(LD1D(VReg(0), 0))
+        g.mark()
+        g.mark()
+        assert [len(b) for b in g.bodies()] == [1]
+
+    def test_empty_grouped_trace(self):
+        assert GroupedTrace().bodies() == []

@@ -1,0 +1,123 @@
+"""Unit tests for the architectural register model."""
+
+import numpy as np
+import pytest
+
+from repro.isa.registers import NUM_TILES, NUM_VREGS, RegisterFile, SVL_LANES, TileReg, VReg
+
+
+class TestHandles:
+    def test_vreg_names(self):
+        assert VReg(0).name == "z0"
+        assert VReg(31).name == "z31"
+
+    def test_vreg_range_checked(self):
+        with pytest.raises(ValueError):
+            VReg(32)
+        with pytest.raises(ValueError):
+            VReg(-1)
+
+    def test_tile_names(self):
+        assert TileReg(0).name == "za0"
+        assert TileReg(7).name == "za7"
+
+    def test_tile_range_checked(self):
+        with pytest.raises(ValueError):
+            TileReg(8)
+        with pytest.raises(ValueError):
+            TileReg(-1)
+
+    def test_handles_hashable_and_equal(self):
+        assert VReg(3) == VReg(3)
+        assert len({VReg(1), VReg(1), VReg(2)}) == 2
+        assert TileReg(4) == TileReg(4)
+        assert VReg(4) != TileReg(4)
+
+
+class TestRegisterFile:
+    def test_initial_state_zero(self):
+        rf = RegisterFile()
+        assert np.all(rf.read_v(VReg(5)) == 0.0)
+        assert np.all(rf.read_tile(TileReg(3)) == 0.0)
+
+    def test_vector_write_read_roundtrip(self):
+        rf = RegisterFile()
+        vals = np.arange(SVL_LANES, dtype=float)
+        rf.write_v(VReg(7), vals)
+        assert np.array_equal(rf.read_v(VReg(7)), vals)
+
+    def test_vector_read_returns_copy(self):
+        rf = RegisterFile()
+        rf.write_v(VReg(1), np.ones(SVL_LANES))
+        out = rf.read_v(VReg(1))
+        out[:] = 99.0
+        assert np.all(rf.read_v(VReg(1)) == 1.0)
+
+    def test_vector_write_shape_checked(self):
+        rf = RegisterFile()
+        with pytest.raises(ValueError):
+            rf.write_v(VReg(0), np.zeros(7))
+
+    def test_tile_write_read_roundtrip(self):
+        rf = RegisterFile()
+        block = np.arange(64, dtype=float).reshape(8, 8)
+        rf.write_tile(TileReg(2), block)
+        assert np.array_equal(rf.read_tile(TileReg(2)), block)
+
+    def test_tile_write_shape_checked(self):
+        rf = RegisterFile()
+        with pytest.raises(ValueError):
+            rf.write_tile(TileReg(0), np.zeros((8, 7)))
+
+    def test_slice_read_write(self):
+        rf = RegisterFile()
+        rf.write_slice(TileReg(1), 3, np.full(SVL_LANES, 2.5))
+        assert np.all(rf.read_slice(TileReg(1), 3) == 2.5)
+        # Other rows untouched.
+        assert np.all(rf.read_slice(TileReg(1), 2) == 0.0)
+
+    def test_slice_row_range_checked(self):
+        rf = RegisterFile()
+        with pytest.raises(ValueError):
+            rf.read_slice(TileReg(0), 8)
+        with pytest.raises(ValueError):
+            rf.write_slice(TileReg(0), -1, np.zeros(SVL_LANES))
+
+    def test_accumulate_outer_matches_numpy(self):
+        rf = RegisterFile()
+        col = np.linspace(0.0, 1.0, SVL_LANES)
+        row = np.linspace(2.0, 3.0, SVL_LANES)
+        rf.accumulate_outer(TileReg(0), col, row)
+        rf.accumulate_outer(TileReg(0), col, row)
+        assert np.allclose(rf.read_tile(TileReg(0)), 2.0 * np.outer(col, row))
+
+    def test_accumulate_outer_zero_coefficient_rows_untouched(self):
+        rf = RegisterFile()
+        rf.write_tile(TileReg(0), np.ones((8, 8)))
+        col = np.zeros(SVL_LANES)
+        col[2] = 1.0
+        rf.accumulate_outer(TileReg(0), col, np.full(SVL_LANES, 5.0))
+        tile = rf.read_tile(TileReg(0))
+        assert np.all(tile[2] == 6.0)
+        mask = np.ones(8, dtype=bool)
+        mask[2] = False
+        assert np.all(tile[mask] == 1.0)
+
+    def test_zero_tile(self):
+        rf = RegisterFile()
+        rf.write_tile(TileReg(5), np.ones((8, 8)))
+        rf.zero_tile(TileReg(5))
+        assert np.all(rf.read_tile(TileReg(5)) == 0.0)
+
+    def test_reset_clears_everything(self):
+        rf = RegisterFile()
+        rf.write_v(VReg(0), np.ones(SVL_LANES))
+        rf.write_tile(TileReg(0), np.ones((8, 8)))
+        rf.reset()
+        assert np.all(rf.read_v(VReg(0)) == 0.0)
+        assert np.all(rf.read_tile(TileReg(0)) == 0.0)
+
+    def test_register_file_counts(self):
+        assert NUM_VREGS == 32
+        assert NUM_TILES == 8
+        assert SVL_LANES == 8

@@ -1,0 +1,98 @@
+"""M4-specific kernel behaviour (Section 4 portability)."""
+
+import numpy as np
+import pytest
+
+from repro.isa.instructions import EXT, FMLA_M, MOVA_TILE_TO_VEC, PRFM, ST1D
+from repro.kernels.base import KernelOptions
+from repro.kernels.registry import make_kernel
+from repro.machine.config import M4
+from repro.machine.memory import MemorySpace
+from repro.machine.timing import TimingEngine
+from repro.stencils.grid import Grid2D
+from repro.stencils.library import benchmark
+from tests.helpers import assert_matches_reference, run_method_2d
+
+
+def build(method="hstencil", stencil="star2d9p", **opts):
+    spec = benchmark(stencil)
+    mem = MemorySpace()
+    src = Grid2D(mem, 16, 32, spec.radius, "A")
+    dst = Grid2D(mem, 16, 32, spec.radius, "B")
+    options = KernelOptions(unroll_j=2).with_(**opts)
+    return make_kernel(method, spec, src, dst, M4(), options)
+
+
+class TestStructure:
+    def test_mmla_groups_are_consecutive_registers(self):
+        k = build()
+        trace = k.emit(k.loop_nest().blocks[0])
+        for ins in trace:
+            if isinstance(ins, FMLA_M):
+                regs = ins.group_regs()
+                assert [r.index for r in regs] == list(
+                    range(regs[0].index, regs[0].index + 4)
+                )
+
+    def test_double_buffered_scratch_tiles(self):
+        """Adjacent row groups use alternating scratch accumulators."""
+        k = build()
+        trace = k.emit(k.loop_nest().blocks[0])
+        scratch_tiles = [ins.tile.index for ins in trace if isinstance(ins, FMLA_M)]
+        assert len(set(scratch_tiles)) == 2
+
+    def test_combine_uses_both_partial_sums(self):
+        """Each output row moves one vertical and one horizontal slice."""
+        k = build()
+        trace = k.emit(k.loop_nest().blocks[0])
+        movas = [ins for ins in trace if isinstance(ins, MOVA_TILE_TO_VEC)]
+        assert len(movas) == 2 * 8 * 2  # 2 per row x 8 rows x 2 tiles
+
+    def test_ext_synthesizes_shifted_groups(self):
+        k = build()
+        trace = k.emit(k.loop_nest().blocks[0])
+        assert sum(1 for i in trace if isinstance(i, EXT)) >= 4
+
+    def test_stores_are_vector_stores(self):
+        """The combine stores from vector registers, not tile slices."""
+        k = build()
+        trace = k.emit(k.loop_nest().blocks[0])
+        assert sum(1 for i in trace if isinstance(i, ST1D)) == 8 * 2
+
+    def test_prefetch_variant_emits_prfm(self):
+        k = build(method="hstencil-prefetch", prefetch=True)
+        trace = k.emit(k.loop_nest().blocks[0])
+        assert any(isinstance(i, PRFM) for i in trace)
+
+
+class TestBehaviour:
+    @pytest.mark.parametrize("stencil", ["star2d5p", "star2d9p", "star2d13p", "heat2d"])
+    def test_functional_all_star_radii(self, stencil, m4):
+        spec = benchmark(stencil)
+        got, ref = run_method_2d("hstencil", spec, m4)
+        assert_matches_reference(got, ref)
+
+    def test_scheduling_helps_on_m4(self, m4):
+        """Section 4.2: EXT/LD scheduling portability."""
+        te = TimingEngine(m4)
+        spec = benchmark("star2d9p")
+
+        def run(method):
+            mem = MemorySpace()
+            src = Grid2D(mem, 64, 64, spec.radius, "A")
+            dst = Grid2D(mem, 64, 64, spec.radius, "B")
+            return te.run(make_kernel(method, spec, src, dst, m4), warm=True)
+
+        assert run("hstencil").cycles < run("hstencil-nosched").cycles
+
+    def test_mmla_kernel_beats_neon_auto(self, m4):
+        te = TimingEngine(m4)
+        spec = benchmark("star2d9p")
+
+        def run(method):
+            mem = MemorySpace()
+            src = Grid2D(mem, 64, 64, spec.radius, "A")
+            dst = Grid2D(mem, 64, 64, spec.radius, "B")
+            return te.run(make_kernel(method, spec, src, dst, m4), warm=True)
+
+        assert run("hstencil").cycles < run("auto").cycles

@@ -1,0 +1,86 @@
+"""Replacement planning (MLA rollback / EXT->load balancing)."""
+
+import pytest
+
+from repro.kernels.base import KernelOptions
+from repro.kernels.replacement import plan_replacement
+from repro.machine.config import LX2
+from repro.stencils.spec import box2d, star2d
+
+
+class TestPlanStructure:
+    def test_star_partitions_taps(self):
+        spec = star2d(2)
+        plan = plan_replacement(spec, LX2())
+        all_taps = set(plan.vector_shifts) | set(plan.rollback_shifts)
+        assert all_taps == {-2, -1, 1, 2}
+        assert not set(plan.vector_shifts) & set(plan.rollback_shifts)
+
+    def test_star_partitions_shift_synthesis(self):
+        spec = star2d(2)
+        plan = plan_replacement(spec, LX2())
+        synth = set(plan.ext_shifts) | set(plan.load_shifts)
+        assert synth == {-2, -1, 1, 2}
+        assert not set(plan.ext_shifts) & set(plan.load_shifts)
+
+    def test_box_has_no_vector_taps(self):
+        plan = plan_replacement(box2d(2), LX2())
+        assert plan.vector_shifts == ()
+        assert plan.rollback_shifts == ()
+        # but EXT/load is still partitioned over the box shifts
+        assert set(plan.ext_shifts) | set(plan.load_shifts) == {-2, -1, 1, 2}
+
+    def test_pipe_cycle_estimates_reported(self):
+        plan = plan_replacement(star2d(2), LX2())
+        assert set(plan.pipe_cycles) == {"V", "M", "L", "S"}
+        assert plan.est_cycles == max(plan.pipe_cycles.values())
+
+
+class TestOverrides:
+    def test_explicit_rollback_respected(self):
+        for rb in range(5):
+            plan = plan_replacement(star2d(2), LX2(), KernelOptions(mla_rollback=rb))
+            assert plan.n_rollback == rb
+
+    def test_explicit_ext_to_load_respected(self):
+        for el in range(5):
+            plan = plan_replacement(star2d(2), LX2(), KernelOptions(ext_to_load=el))
+            assert plan.n_ext_to_load == el
+
+    def test_rollback_bounds_checked(self):
+        with pytest.raises(ValueError):
+            plan_replacement(star2d(2), LX2(), KernelOptions(mla_rollback=5))
+
+    def test_ext_to_load_bounds_checked(self):
+        with pytest.raises(ValueError):
+            plan_replacement(star2d(2), LX2(), KernelOptions(ext_to_load=9))
+
+    def test_ext_reuse_disabled_forces_loads(self):
+        plan = plan_replacement(star2d(2), LX2(), KernelOptions(ext_reuse=False))
+        assert plan.ext_shifts == ()
+        assert set(plan.load_shifts) == {-2, -1, 1, 2}
+
+    def test_far_shifts_converted_first(self):
+        plan = plan_replacement(star2d(2), LX2(), KernelOptions(ext_to_load=2))
+        assert set(plan.load_shifts) == {-2, 2}
+
+
+class TestBalancing:
+    def test_auto_plan_not_worse_than_extremes(self):
+        spec = star2d(2)
+        auto = plan_replacement(spec, LX2())
+        all_vec = plan_replacement(spec, LX2(), KernelOptions(mla_rollback=0))
+        all_mat = plan_replacement(spec, LX2(), KernelOptions(mla_rollback=4))
+        assert auto.est_cycles <= all_vec.est_cycles + 1e-9
+        assert auto.est_cycles <= all_mat.est_cycles + 1e-9
+
+    def test_deterministic(self):
+        a = plan_replacement(star2d(3), LX2())
+        b = plan_replacement(star2d(3), LX2())
+        assert a == b
+
+    def test_prefetch_increases_load_pressure_estimate(self):
+        spec = star2d(2)
+        without = plan_replacement(spec, LX2(), KernelOptions(prefetch=False, mla_rollback=0, ext_to_load=0))
+        with_pf = plan_replacement(spec, LX2(), KernelOptions(prefetch=True, mla_rollback=0, ext_to_load=0))
+        assert with_pf.pipe_cycles["L"] > without.pipe_cycles["L"]

@@ -1,0 +1,172 @@
+"""Cache hierarchy: lookup/install, LRU, write-back, statistics."""
+
+import pytest
+
+from repro.machine.cache import CacheHierarchy, CacheLevel, CacheStats, L1, L2, MEM
+from repro.machine.config import CacheGeometry, LX2
+
+
+def tiny_level(sets=4, assoc=2):
+    return CacheLevel(CacheGeometry(sets * assoc * 64, 64, assoc), "T")
+
+
+class TestCacheLevel:
+    def test_miss_then_hit(self):
+        c = tiny_level()
+        assert not c.lookup(10)
+        c.install(10)
+        assert c.lookup(10)
+
+    def test_lru_eviction_order(self):
+        c = tiny_level(sets=1, assoc=2)
+        c.install(0)
+        c.install(1)
+        c.lookup(0)  # promote 0 to MRU
+        c.install(2)  # evicts 1 (LRU)
+        assert c.contains(0)
+        assert not c.contains(1)
+        assert c.contains(2)
+
+    def test_clean_eviction_silent(self):
+        c = tiny_level(sets=1, assoc=1)
+        c.install(0, dirty=False)
+        victim = c.install(1)
+        assert victim is None
+        assert c.stats.writebacks == 0
+
+    def test_dirty_eviction_reported(self):
+        c = tiny_level(sets=1, assoc=1)
+        c.install(0, dirty=True)
+        victim = c.install(1)
+        assert victim == 0
+        assert c.stats.writebacks == 1
+
+    def test_reinstall_promotes_without_eviction(self):
+        c = tiny_level(sets=1, assoc=2)
+        c.install(0)
+        c.install(1)
+        c.install(0)  # already present
+        assert c.resident_lines() == 2
+
+    def test_set_mapping(self):
+        c = tiny_level(sets=4, assoc=1)
+        c.install(0)
+        c.install(4)  # same set (4 mod 4 == 0)
+        assert not c.contains(0)
+        c.install(1)  # different set
+        assert c.contains(4) and c.contains(1)
+
+    def test_flush_counts_dirty(self):
+        c = tiny_level()
+        c.install(0, dirty=True)
+        c.install(1, dirty=False)
+        assert c.flush() == 1
+        assert not c.contains(0)
+
+    def test_contains_does_not_touch_lru(self):
+        c = tiny_level(sets=1, assoc=2)
+        c.install(0)
+        c.install(1)
+        c.contains(0)  # must NOT promote
+        c.install(2)  # evicts 0 (still LRU)
+        assert not c.contains(0)
+
+
+class TestHierarchy:
+    def make(self):
+        return CacheHierarchy(LX2())
+
+    def test_lines_for_alignment(self):
+        h = self.make()
+        assert list(h.lines_for(0, 8)) == [0]
+        assert list(h.lines_for(4, 8)) == [0, 1]  # straddles
+        assert list(h.lines_for(8, 8)) == [1]
+
+    def test_first_touch_goes_to_memory(self):
+        h = self.make()
+        assert h.demand_access(1000, 8, write=False) == MEM
+        assert h.mem_lines_read == 1
+
+    def test_second_touch_hits_l1(self):
+        h = self.make()
+        h.demand_access(1000, 8, write=False)
+        assert h.demand_access(1000, 8, write=False) == L1
+        assert h.l1.stats.demand_hits == 1
+
+    def test_l2_hit_after_l1_eviction(self):
+        h = self.make()
+        geom = h.config.l1
+        lines_to_thrash = geom.num_sets * geom.associativity + geom.num_sets
+        h.demand_access(0 * 8, 8, write=False)
+        for i in range(1, lines_to_thrash + 1):
+            # walk addresses mapping to all sets repeatedly
+            h.demand_access(i * 8, 8, write=False)
+        level = h.demand_access(0, 8, write=False)
+        assert level == L2
+
+    def test_write_allocate_marks_dirty(self):
+        h = self.make()
+        h.demand_access(2000, 8, write=True)
+        assert h.l1._dirty  # some line dirty
+
+    def test_software_prefetch_fills_l1(self):
+        h = self.make()
+        h.software_prefetch(3000, 8, write=False)
+        assert h.l1.stats.prefetch_fills == 1
+        assert h.demand_access(3000, 8, write=False) == L1
+
+    def test_software_prefetch_probe_statistics(self):
+        h = self.make()
+        h.software_prefetch(3000, 8, write=False)  # probe miss + fill
+        h.software_prefetch(3000, 8, write=False)  # probe hit
+        assert h.l1.stats.prefetch_probes == 2
+        assert h.l1.stats.prefetch_probe_hits == 1
+        # perf-style accounting includes probes
+        assert h.l1.stats.perf_accesses == 2
+        assert h.l1.stats.perf_hits == 1
+
+    def test_prefetch_does_not_inflate_demand_stats(self):
+        h = self.make()
+        h.software_prefetch(3000, 8, write=False)
+        assert h.l1.stats.demand_accesses == 0
+
+    def test_hardware_prefetch_fills_without_stats(self):
+        h = self.make()
+        h.hardware_prefetch(77)
+        assert h.l1.stats.demand_accesses == 0
+        assert h.l1.stats.prefetch_fills == 1
+        assert h.l1.contains(77)
+
+    def test_hardware_prefetch_idempotent(self):
+        h = self.make()
+        h.hardware_prefetch(77)
+        h.hardware_prefetch(77)
+        assert h.l1.stats.prefetch_fills == 1
+
+    def test_dram_byte_accounting(self):
+        h = self.make()
+        h.demand_access(1000, 8, write=False)
+        assert h.dram_bytes() == 64
+
+    def test_reset_stats_keeps_contents(self):
+        h = self.make()
+        h.demand_access(1000, 8, write=False)
+        h.reset_stats()
+        assert h.l1.stats.demand_accesses == 0
+        assert h.demand_access(1000, 8, write=False) == L1  # still warm
+
+
+class TestCacheStats:
+    def test_hit_rates(self):
+        s = CacheStats(demand_accesses=10, demand_hits=7)
+        assert s.demand_hit_rate == pytest.approx(0.7)
+        assert CacheStats().demand_hit_rate == 0.0
+
+    def test_merge(self):
+        a = CacheStats(demand_accesses=5, demand_hits=3, prefetch_probes=2)
+        b = CacheStats(demand_accesses=1, demand_hits=1, prefetch_probe_hits=1)
+        a.merge(b)
+        assert a.demand_accesses == 6
+        assert a.demand_hits == 4
+        assert a.prefetch_probes == 2
+        assert a.prefetch_probe_hits == 1

@@ -1,0 +1,110 @@
+"""Machine configurations: presets, validation, paper-anchored facts."""
+
+import dataclasses
+
+import pytest
+
+from repro.isa.instructions import (
+    FMLA,
+    FMLA_IDX,
+    FMOPA,
+    LD1D,
+    MOVA_TILE_TO_VEC,
+    PortClass,
+)
+from repro.isa.registers import SVL_LANES, VReg, TileReg
+from repro.machine.config import CacheGeometry, LatencySpec, LX2, M4, MachineConfig
+
+
+class TestPresets:
+    def test_presets_validate(self):
+        LX2().validate()
+        M4().validate()
+
+    def test_lx2_peak_ratio_is_four(self):
+        """Section 2.1: outer product = 4x the MLA FP64 peak."""
+        cfg = LX2()
+        fmopa = cfg.latencies[FMOPA.mnemonic]
+        fmla = cfg.latencies[FMLA.mnemonic]
+        matrix_peak = (
+            cfg.port_count(PortClass.MATRIX)
+            * 2
+            * SVL_LANES
+            * SVL_LANES
+            / fmopa.initiation_interval
+        )
+        vector_peak = (
+            cfg.port_count(PortClass.VECTOR) * 2 * SVL_LANES / fmla.initiation_interval
+        )
+        assert matrix_peak / vector_peak == pytest.approx(4.0)
+
+    def test_fmopa_pipeline_depth_needs_four_tiles(self):
+        cfg = LX2()
+        spec = cfg.latencies[FMOPA.mnemonic]
+        assert spec.latency / spec.initiation_interval == 4
+
+    def test_mova_costs_double_fmopa(self):
+        cfg = LX2()
+        assert (
+            cfg.latencies[MOVA_TILE_TO_VEC.mnemonic].initiation_interval
+            >= 2 * cfg.latencies[FMOPA.mnemonic].initiation_interval
+        )
+
+    def test_m4_capability_flags(self):
+        cfg = M4()
+        assert not cfg.has_vector_fmla
+        assert cfg.has_matrix_mla
+        assert not cfg.supports_inplace_accumulation
+
+    def test_m4_neon_baseline_halved_fma_throughput(self):
+        """The M4's NEON auto baseline: doubled FMA initiation interval."""
+        assert M4().latencies[FMLA_IDX.mnemonic].initiation_interval == 2
+        assert LX2().latencies[FMLA_IDX.mnemonic].initiation_interval == 1
+
+    def test_m4_l1_is_128kb(self):
+        assert M4().l1.size_bytes == 128 * 1024
+
+    def test_latency_lookup(self):
+        cfg = LX2()
+        spec = cfg.latency_for(LD1D(VReg(0), 8))
+        assert spec.latency == cfg.l1_load_latency
+
+
+class TestValidation:
+    def test_cache_geometry_num_sets(self):
+        geom = CacheGeometry(64 * 1024, 64, 8)
+        assert geom.num_sets == 128
+
+    def test_cache_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            CacheGeometry(64, 64, 8).num_sets
+
+    def test_issue_width_checked(self):
+        cfg = dataclasses.replace(LX2(), issue_width=0)
+        with pytest.raises(ValueError):
+            cfg.validate()
+
+    def test_mismatched_line_sizes_rejected(self):
+        cfg = dataclasses.replace(LX2(), l2=CacheGeometry(512 * 1024, 128, 8))
+        with pytest.raises(ValueError):
+            cfg.validate()
+
+    def test_bad_latency_spec_rejected(self):
+        bad = dict(LX2().latencies)
+        bad["fmla"] = LatencySpec(latency=0)
+        cfg = dataclasses.replace(LX2(), latencies=bad)
+        with pytest.raises(ValueError):
+            cfg.validate()
+
+    def test_unknown_mnemonic_raises(self):
+        class Weird:
+            mnemonic = "frobnicate"
+
+        with pytest.raises(KeyError):
+            LX2().latency_for(Weird())
+
+    def test_without_hw_prefetch_variant(self):
+        cfg = LX2().without_hw_prefetch()
+        assert not cfg.hw_prefetch_enabled
+        assert "nohwpf" in cfg.name
+        assert LX2().hw_prefetch_enabled  # original untouched

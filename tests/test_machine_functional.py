@@ -1,0 +1,189 @@
+"""Functional engine: instruction semantics against registers + memory."""
+
+import numpy as np
+import pytest
+
+from repro.isa.instructions import (
+    DUP,
+    EXT,
+    FADD_V,
+    FMLA,
+    FMLA_IDX,
+    FMLA_M,
+    FMOPA,
+    FMUL_IDX,
+    LD1D,
+    LD1D_STRIDED,
+    MOVA_TILE_TO_VEC,
+    MOVA_VEC_TO_TILE,
+    PRFM,
+    SCALAR_OP,
+    SET_LANES,
+    ST1D,
+    ST1D_SLICE,
+    ZERO_TILE,
+)
+from repro.isa.registers import SVL_LANES, TileReg, VReg
+from repro.machine.functional import FunctionalEngine
+from repro.machine.memory import MemorySpace
+
+
+@pytest.fixture()
+def eng():
+    return FunctionalEngine(MemorySpace())
+
+
+def load_values(eng, values):
+    base = eng.memory.alloc(len(values))
+    eng.memory.write(base, np.asarray(values, dtype=float))
+    return base
+
+
+class TestMemoryOps:
+    def test_ld1d(self, eng):
+        base = load_values(eng, np.arange(8.0))
+        eng.execute(LD1D(VReg(0), base))
+        assert np.array_equal(eng.regs.read_v(VReg(0)), np.arange(8.0))
+
+    def test_ld1d_strided(self, eng):
+        base = load_values(eng, np.arange(64.0))
+        eng.execute(LD1D_STRIDED(VReg(0), base, stride=8))
+        assert np.array_equal(eng.regs.read_v(VReg(0)), np.arange(0.0, 64.0, 8.0))
+
+    def test_st1d(self, eng):
+        base = eng.memory.alloc(8)
+        eng.regs.write_v(VReg(3), np.full(8, 4.5))
+        eng.execute(ST1D(VReg(3), base))
+        assert np.all(eng.memory.read(base, 8) == 4.5)
+
+    def test_st1d_slice(self, eng):
+        base = eng.memory.alloc(8)
+        eng.regs.write_slice(TileReg(2), 5, np.arange(8.0))
+        eng.execute(ST1D_SLICE(TileReg(2), 5, base))
+        assert np.array_equal(eng.memory.read(base, 8), np.arange(8.0))
+
+    def test_prfm_no_architectural_effect(self, eng):
+        base = load_values(eng, np.ones(8))
+        eng.execute(PRFM(base))
+        assert np.all(eng.memory.read(base, 8) == 1.0)
+
+
+class TestVectorOps:
+    def test_fmla(self, eng):
+        eng.regs.write_v(VReg(0), np.full(8, 1.0))
+        eng.regs.write_v(VReg(1), np.arange(8.0))
+        eng.regs.write_v(VReg(2), np.full(8, 2.0))
+        eng.execute(FMLA(VReg(0), VReg(1), VReg(2)))
+        assert np.array_equal(eng.regs.read_v(VReg(0)), 1.0 + 2.0 * np.arange(8.0))
+
+    def test_fmla_idx_broadcasts_element(self, eng):
+        eng.regs.write_v(VReg(1), np.arange(8.0))
+        eng.regs.write_v(VReg(2), np.arange(10.0, 18.0))
+        eng.execute(FMLA_IDX(VReg(0), VReg(1), VReg(2), 3))
+        assert np.array_equal(eng.regs.read_v(VReg(0)), 13.0 * np.arange(8.0))
+
+    def test_fmul_idx_overwrites(self, eng):
+        eng.regs.write_v(VReg(0), np.full(8, 99.0))
+        eng.regs.write_v(VReg(1), np.arange(8.0))
+        eng.regs.write_v(VReg(2), np.full(8, 2.0))
+        eng.execute(FMUL_IDX(VReg(0), VReg(1), VReg(2), 0))
+        assert np.array_equal(eng.regs.read_v(VReg(0)), 2.0 * np.arange(8.0))
+
+    def test_fadd(self, eng):
+        eng.regs.write_v(VReg(1), np.arange(8.0))
+        eng.regs.write_v(VReg(2), np.ones(8))
+        eng.execute(FADD_V(VReg(0), VReg(1), VReg(2)))
+        assert np.array_equal(eng.regs.read_v(VReg(0)), np.arange(8.0) + 1.0)
+
+    def test_ext_concatenation(self, eng):
+        eng.regs.write_v(VReg(1), np.arange(8.0))
+        eng.regs.write_v(VReg(2), np.arange(8.0, 16.0))
+        eng.execute(EXT(VReg(0), VReg(1), VReg(2), 3))
+        assert np.array_equal(eng.regs.read_v(VReg(0)), np.arange(3.0, 11.0))
+
+    def test_ext_is_shifted_window_semantics(self, eng):
+        """EXT(a, b, s) yields the vector at column offset +s (data reuse)."""
+        row = np.arange(16.0)
+        eng.regs.write_v(VReg(1), row[:8])
+        eng.regs.write_v(VReg(2), row[8:])
+        for s in range(1, 8):
+            eng.execute(EXT(VReg(0), VReg(1), VReg(2), s))
+            assert np.array_equal(eng.regs.read_v(VReg(0)), row[s : s + 8])
+
+    def test_dup_and_set_lanes(self, eng):
+        eng.execute(DUP(VReg(0), 7.25))
+        assert np.all(eng.regs.read_v(VReg(0)) == 7.25)
+        vals = tuple(float(i * i) for i in range(8))
+        eng.execute(SET_LANES(VReg(1), vals))
+        assert np.array_equal(eng.regs.read_v(VReg(1)), np.array(vals))
+
+
+class TestMatrixOps:
+    def test_fmopa_accumulates_outer_product(self, eng):
+        col = np.arange(8.0)
+        row = np.arange(8.0, 16.0)
+        eng.regs.write_v(VReg(0), col)
+        eng.regs.write_v(VReg(1), row)
+        eng.execute(FMOPA(TileReg(0), VReg(0), VReg(1)))
+        eng.execute(FMOPA(TileReg(0), VReg(0), VReg(1)))
+        assert np.allclose(eng.regs.read_tile(TileReg(0)), 2 * np.outer(col, row))
+
+    def test_inplace_accumulation_trick_is_exact(self, eng):
+        """FMOPA with a unit-basis coefficient adds into exactly one row."""
+        eng.regs.write_tile(TileReg(0), np.ones((8, 8)))
+        unit = np.zeros(8)
+        unit[4] = 1.0
+        eng.regs.write_v(VReg(0), unit)
+        eng.regs.write_v(VReg(1), np.arange(8.0))
+        eng.execute(FMOPA(TileReg(0), VReg(0), VReg(1), rows=(4,)))
+        tile = eng.regs.read_tile(TileReg(0))
+        assert np.array_equal(tile[4], 1.0 + np.arange(8.0))
+        mask = np.ones(8, dtype=bool)
+        mask[4] = False
+        assert np.all(tile[mask] == 1.0)
+
+    def test_zero_tile(self, eng):
+        eng.regs.write_tile(TileReg(1), np.ones((8, 8)))
+        eng.execute(ZERO_TILE(TileReg(1)))
+        assert np.all(eng.regs.read_tile(TileReg(1)) == 0.0)
+
+    def test_mova_roundtrip(self, eng):
+        eng.regs.write_v(VReg(0), np.arange(8.0))
+        eng.execute(MOVA_VEC_TO_TILE(TileReg(0), 3, VReg(0)))
+        eng.execute(MOVA_TILE_TO_VEC(VReg(1), TileReg(0), 3))
+        assert np.array_equal(eng.regs.read_v(VReg(1)), np.arange(8.0))
+
+    def test_fmla_m_updates_even_rows_with_group(self, eng):
+        for g in range(4):
+            eng.regs.write_v(VReg(8 + g), np.full(8, float(g + 1)))
+        coefs = np.zeros(8)
+        coefs[2] = 3.0
+        eng.regs.write_v(VReg(16), coefs)
+        eng.execute(FMLA_M(TileReg(0), VReg(8), VReg(16), 2))
+        tile = eng.regs.read_tile(TileReg(0))
+        for g in range(4):
+            assert np.all(tile[2 * g] == 3.0 * (g + 1))
+            assert np.all(tile[2 * g + 1] == 0.0)  # odd rows fragmented away
+
+    def test_scalar_noop(self, eng):
+        eng.execute(SCALAR_OP())
+        assert eng.instructions_executed == 1
+
+
+class TestTraceExecution:
+    def test_execute_trace_counts(self, eng):
+        base = load_values(eng, np.arange(16.0))
+        eng.execute_trace([LD1D(VReg(0), base), LD1D(VReg(1), base + 8)])
+        assert eng.instructions_executed == 2
+
+    def test_unknown_instruction_rejected(self, eng):
+        class Bogus:
+            pass
+
+        with pytest.raises(TypeError):
+            eng.execute(Bogus())
+
+    def test_reset_registers(self, eng):
+        eng.regs.write_v(VReg(0), np.ones(8))
+        eng.reset_registers()
+        assert np.all(eng.regs.read_v(VReg(0)) == 0.0)

@@ -1,0 +1,123 @@
+"""MemorySpace: allocation, paging, bulk helpers."""
+
+import numpy as np
+import pytest
+
+from repro.machine.memory import LINE_WORDS, MemorySpace, PAGE_WORDS
+
+
+class TestAllocation:
+    def test_base_is_nonzero(self):
+        mem = MemorySpace()
+        base = mem.alloc(8, "a")
+        assert base > 0
+
+    def test_line_alignment_default(self):
+        mem = MemorySpace()
+        mem.alloc(3, "a")
+        b = mem.alloc(8, "b")
+        assert b % LINE_WORDS == 0
+
+    def test_custom_alignment(self):
+        mem = MemorySpace()
+        mem.alloc(5, "a")
+        b = mem.alloc(8, "b", align=64)
+        assert b % 64 == 0
+
+    def test_alignment_must_be_power_of_two(self):
+        mem = MemorySpace()
+        with pytest.raises(ValueError):
+            mem.alloc(8, align=12)
+
+    def test_size_must_be_positive(self):
+        mem = MemorySpace()
+        with pytest.raises(ValueError):
+            mem.alloc(0)
+
+    def test_duplicate_names_rejected(self):
+        mem = MemorySpace()
+        mem.alloc(8, "x")
+        with pytest.raises(ValueError):
+            mem.alloc(8, "x")
+
+    def test_allocation_lookup(self):
+        mem = MemorySpace()
+        base = mem.alloc(40, "grid")
+        rec = mem.allocation("grid")
+        assert rec.base == base
+        assert rec.nwords == 40
+        assert rec.end == base + 40
+
+    def test_allocations_do_not_overlap(self):
+        mem = MemorySpace()
+        a = mem.alloc(100, "a")
+        b = mem.alloc(100, "b")
+        assert b >= a + 100
+
+
+class TestAccess:
+    def test_zero_fill_default(self):
+        mem = MemorySpace()
+        base = mem.alloc(16)
+        assert np.all(mem.read(base, 16) == 0.0)
+
+    def test_write_read_roundtrip(self):
+        mem = MemorySpace()
+        base = mem.alloc(32)
+        data = np.arange(32.0)
+        mem.write(base, data)
+        assert np.array_equal(mem.read(base, 32), data)
+
+    def test_cross_page_write_read(self):
+        mem = MemorySpace()
+        base = mem.alloc(3 * PAGE_WORDS)
+        start = base + PAGE_WORDS - 5
+        data = np.arange(10.0)
+        mem.write(start, data)
+        assert np.array_equal(mem.read(start, 10), data)
+
+    def test_pages_allocated_lazily(self):
+        mem = MemorySpace()
+        mem.alloc(100 * PAGE_WORDS, "big")
+        before = mem.words_resident
+        base = mem.allocation("big").base
+        mem.write(base + 50 * PAGE_WORDS, np.ones(8))
+        # Only the touched page(s) are committed.
+        assert mem.words_resident - before <= 2 * PAGE_WORDS
+
+    def test_strided_read(self):
+        mem = MemorySpace()
+        base = mem.alloc(64)
+        mem.write(base, np.arange(64.0))
+        got = mem.read_strided(base + 1, 8, stride=8)
+        assert np.array_equal(got, np.arange(1.0, 64.0, 8.0))
+
+    def test_out_of_bounds_read_rejected(self):
+        mem = MemorySpace()
+        base = mem.alloc(8)
+        with pytest.raises(ValueError):
+            mem.read(base + 8, 8)
+
+    def test_below_base_rejected(self):
+        mem = MemorySpace()
+        mem.alloc(8)
+        with pytest.raises(ValueError):
+            mem.read(0, 1)
+
+
+class TestBulkHelpers:
+    def test_array_roundtrip(self):
+        mem = MemorySpace()
+        base = mem.alloc(24)
+        arr = np.arange(24.0).reshape(4, 6)
+        mem.write_array(base, arr)
+        assert np.array_equal(mem.read_array(base, (4, 6)), arr)
+
+    def test_row_helpers(self):
+        mem = MemorySpace()
+        base = mem.alloc(40)
+        mem.write_row(base, row_stride=10, row=2, values=np.full(4, 7.0), col=3)
+        got = mem.read_row(base, row_stride=10, row=2, ncols=4, col=3)
+        assert np.all(got == 7.0)
+        # neighbours untouched
+        assert mem.read(base + 2 * 10, 3).sum() == 0.0

@@ -1,0 +1,82 @@
+"""Multicore strong-scaling model."""
+
+import pytest
+
+from repro.kernels.base import KernelOptions
+from repro.kernels.registry import make_kernel
+from repro.machine.config import LX2
+from repro.machine.memory import MemorySpace
+from repro.machine.multicore import MulticoreModel, ScalingPoint
+from repro.machine.perf import PerfCounters
+from repro.stencils.grid import Grid2D
+from repro.stencils.library import benchmark
+
+
+def kernel_factory(method="hstencil", stencil="box2d9p", cols=64):
+    spec = benchmark(stencil)
+
+    def make(rows):
+        mem = MemorySpace()
+        src = Grid2D(mem, rows, cols, spec.radius, "A")
+        dst = Grid2D(mem, rows, cols, spec.radius, "B")
+        return make_kernel(method, spec, src, dst, LX2(), KernelOptions(unroll_j=2))
+
+    return make
+
+
+class TestScalingPoint:
+    def _slice(self, cycles=1000.0, points=4096, dram_lines=100):
+        pc = PerfCounters()
+        pc.cycles = cycles
+        pc.points = points
+        pc.dram_lines_read = dram_lines
+        return pc
+
+    def test_compute_bound_at_low_core_counts(self):
+        mc = MulticoreModel(LX2())
+        pt = mc.scaling_point(1, self._slice())
+        assert not pt.bandwidth_bound
+        assert pt.cycles == 1000.0
+        assert pt.points == 4096
+
+    def test_bandwidth_bound_at_high_core_counts(self):
+        mc = MulticoreModel(LX2())
+        heavy = self._slice(cycles=100.0, dram_lines=10_000)
+        pt = mc.scaling_point(64, heavy)
+        assert pt.bandwidth_bound
+        assert pt.cycles > 100.0
+
+    def test_throughput_additive_when_unbound(self):
+        mc = MulticoreModel(LX2())
+        p1 = mc.scaling_point(1, self._slice())
+        p4 = mc.scaling_point(4, self._slice())
+        if not p4.bandwidth_bound:
+            assert p4.gstencil_per_s == pytest.approx(4 * p1.gstencil_per_s)
+
+    def test_invalid_core_count(self):
+        mc = MulticoreModel(LX2())
+        with pytest.raises(ValueError):
+            mc.scaling_point(0, self._slice())
+
+
+class TestStrongScaling:
+    def test_monotone_throughput(self):
+        mc = MulticoreModel(LX2())
+        pts = mc.strong_scaling(kernel_factory(), total_rows=64, core_counts=[1, 2, 4])
+        rates = [p.gstencil_per_s for p in pts]
+        assert rates[0] < rates[1] < rates[2] * 1.001
+
+    def test_equal_slices_simulated_once(self):
+        mc = MulticoreModel(LX2())
+        pts = mc.strong_scaling(kernel_factory(), total_rows=64, core_counts=[2, 2])
+        assert pts[0].cycles == pts[1].cycles
+
+    def test_rows_must_divide(self):
+        mc = MulticoreModel(LX2())
+        with pytest.raises(ValueError):
+            mc.strong_scaling(kernel_factory(), total_rows=8, core_counts=[16])
+
+    def test_points_scale_with_cores(self):
+        mc = MulticoreModel(LX2())
+        pts = mc.strong_scaling(kernel_factory(), total_rows=64, core_counts=[1, 4])
+        assert pts[1].points == pts[0].points  # same total grid rows*cols

@@ -1,0 +1,92 @@
+"""PerfCounters: derived metrics, scaling, merging."""
+
+import pytest
+
+from repro.isa.instructions import PortClass
+from repro.machine.perf import PerfCounters
+
+
+def sample():
+    pc = PerfCounters(label="x")
+    pc.cycles = 1000.0
+    pc.instructions = 2500
+    pc.instructions_by_port = {PortClass.VECTOR: 1500, PortClass.LOAD: 1000}
+    pc.flops = 40_000
+    pc.useful_flops = 30_000
+    pc.points = 4096
+    pc.l1_accesses = 1200
+    pc.l1_hits = 1100
+    pc.l1_demand_accesses = 1000
+    pc.l1_demand_hits = 950
+    pc.l2_accesses = 50
+    pc.l2_hits = 40
+    pc.dram_lines_read = 10
+    pc.dram_lines_written = 5
+    return pc
+
+
+class TestDerived:
+    def test_ipc(self):
+        assert sample().ipc == pytest.approx(2.5)
+        assert PerfCounters().ipc == 0.0
+
+    def test_hit_rates(self):
+        pc = sample()
+        assert pc.l1_hit_rate == pytest.approx(1100 / 1200)
+        assert pc.l1_demand_hit_rate == pytest.approx(0.95)
+        assert PerfCounters().l1_hit_rate == 0.0
+
+    def test_cycles_per_point(self):
+        assert sample().cycles_per_point == pytest.approx(1000 / 4096)
+
+    def test_matrix_utilization(self):
+        assert sample().matrix_utilization == pytest.approx(0.75)
+
+    def test_gstencil_per_s(self):
+        pc = sample()
+        # 4096 points in 1000 cycles at 2.5 GHz
+        expect = 4096 / (1000 / 2.5e9) / 1e9
+        assert pc.gstencil_per_s(2.5) == pytest.approx(expect)
+        assert PerfCounters().gstencil_per_s(2.5) == 0.0
+
+    def test_dram_bytes(self):
+        assert sample().dram_bytes() == 15 * 64
+
+
+class TestScaling:
+    def test_scaled_marks_sampled(self):
+        out = sample().scaled(2.0)
+        assert out.sampled
+        assert out.cycles == 2000.0
+        assert out.instructions == 5000
+        assert out.points == 8192
+        assert out.instructions_by_port[PortClass.VECTOR] == 3000
+
+    def test_scaled_preserves_rates(self):
+        pc = sample()
+        out = pc.scaled(3.0)
+        assert out.ipc == pytest.approx(pc.ipc)
+        assert out.l1_hit_rate == pytest.approx(pc.l1_hit_rate)
+        assert out.cycles_per_point == pytest.approx(pc.cycles_per_point)
+
+
+class TestMerge:
+    def test_merge_accumulates(self):
+        a, b = sample(), sample()
+        a.merge(b)
+        assert a.cycles == 2000.0
+        assert a.instructions == 5000
+        assert a.points == 8192
+        assert a.l1_hits == 2200
+        assert a.instructions_by_port[PortClass.LOAD] == 2000
+
+    def test_merge_sampled_flag_sticky(self):
+        a = sample()
+        b = sample().scaled(1.0)
+        a.merge(b)
+        assert a.sampled
+
+    def test_summary_mentions_key_numbers(self):
+        text = sample().summary()
+        assert "IPC 2.50" in text
+        assert "x" in text

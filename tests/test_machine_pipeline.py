@@ -1,0 +1,176 @@
+"""Timing pipeline: ports, latencies, issue width, scoreboard, ILP facts.
+
+The last class checks the architectural calibration facts of Section 2.1 /
+Figure 3 that the whole reproduction rests on.
+"""
+
+import pytest
+
+from repro.isa.instructions import (
+    EXT,
+    FMLA,
+    FMOPA,
+    LD1D,
+    PRFM,
+    SCALAR_OP,
+    ST1D,
+)
+from repro.isa.program import Trace
+from repro.isa.registers import TileReg, VReg
+from repro.machine.config import LX2
+from repro.machine.pipeline import PipelineModel
+from repro.machine.timing import TimingEngine
+
+
+def run(trace):
+    pipe = PipelineModel(LX2())
+    pipe.process_trace(trace)
+    return pipe
+
+
+class TestBasicIssue:
+    def test_independent_vector_ops_dual_issue(self):
+        # 8 independent FMLAs on 2 vector pipes: 4 issue cycles + latency.
+        trace = Trace(FMLA(VReg(i), VReg(16), VReg(17)) for i in range(8))
+        pipe = run(trace)
+        lat = LX2().latencies["fmla"].latency
+        assert pipe.makespan == 3 + lat  # last issues at cycle 3
+
+    def test_dependent_chain_serializes(self):
+        trace = Trace(FMLA(VReg(0), VReg(1), VReg(2)) for _ in range(4))
+        pipe = run(trace)
+        lat = LX2().latencies["fmla"].latency
+        assert pipe.makespan == 4 * lat
+
+    def test_issue_width_caps_per_cycle(self):
+        cfg = LX2()
+        # More independent scalar ops than width allows per cycle.
+        trace = Trace(SCALAR_OP() for _ in range(12))
+        pipe = run(trace)
+        # 2 scalar pipes, issue width 4: scalar port is the constraint (2/cycle).
+        assert pipe.makespan >= 12 // 2
+
+    def test_port_contention_ext_vs_fmla(self):
+        """EXT and FMLA share the vector pipes (Section 3.2.1)."""
+        only_fmla = Trace(FMLA(VReg(i % 8), VReg(16), VReg(17)) for i in range(8))
+        mixed = Trace()
+        for i in range(8):
+            mixed.append(FMLA(VReg(i), VReg(16), VReg(17)))
+            mixed.append(EXT(VReg(8 + i), VReg(16), VReg(17), 1))
+        assert run(mixed).makespan > run(only_fmla).makespan
+
+    def test_in_order_issue_monotone(self):
+        pipe = PipelineModel(LX2())
+        t1 = pipe.process(FMLA(VReg(0), VReg(1), VReg(2)))
+        t2 = pipe.process(FMLA(VReg(0), VReg(1), VReg(2)))  # dependent
+        t3 = pipe.process(LD1D(VReg(3), 1000))  # independent but in-order
+        assert t1 <= t2
+        assert t2 <= t3 or t3 >= t1  # never issues before earlier instrs
+
+
+class TestMemoryTiming:
+    def test_load_miss_slower_than_hit(self):
+        cfg = LX2()
+        pipe = PipelineModel(cfg)
+        pipe.process(LD1D(VReg(0), 1000))
+        miss_ready = pipe._ready["z0"]
+        pipe.process(LD1D(VReg(1), 1000))  # now cached
+        hit_ready = pipe._ready["z1"]
+        assert miss_ready - 0 > hit_ready - pipe._frontier
+
+    def test_store_does_not_block(self):
+        trace = Trace([LD1D(VReg(0), 1000), ST1D(VReg(0), 5000), SCALAR_OP()])
+        pipe = run(trace)
+        # store latency is 1; makespan dominated by the load
+        assert pipe.makespan <= LX2().mem_load_latency + 4
+
+    def test_prefetch_consumes_load_slot_but_never_stalls(self):
+        trace = Trace([PRFM(9000), SCALAR_OP()])
+        pipe = run(trace)
+        assert pipe.sw_prefetches == 1
+        assert pipe.makespan <= 3
+
+    def test_prefetch_hides_miss_latency(self):
+        cfg = LX2()
+        cold = Trace([LD1D(VReg(0), 1000), FMLA(VReg(1), VReg(0), VReg(0))])
+        warm = Trace(
+            [PRFM(2000)]
+            + [SCALAR_OP() for _ in range(40)]
+            + [LD1D(VReg(0), 2000), FMLA(VReg(1), VReg(0), VReg(0))]
+        )
+        t_cold = TimingEngine(cfg).run_trace(cold)
+        t_warm = TimingEngine(cfg).run_trace(warm)
+        # 40 scalar ops take ~20 cycles; the prefetched load then hits L1.
+        assert t_warm.cycles < t_cold.cycles + 20
+
+
+class TestCounters:
+    def test_snapshot_counts(self):
+        trace = Trace([LD1D(VReg(0), 1000), FMLA(VReg(1), VReg(0), VReg(0)), ST1D(VReg(1), 2000)])
+        pipe = run(trace)
+        pc = pipe.snapshot()
+        assert pc.instructions == 3
+        assert pc.flops == 16
+        assert pc.l1_accesses >= 2
+
+    def test_delta(self):
+        pipe = PipelineModel(LX2())
+        pipe.process(LD1D(VReg(0), 1000))
+        before = pipe.snapshot()
+        pipe.process(FMLA(VReg(1), VReg(0), VReg(0)))
+        after = pipe.snapshot()
+        d = PipelineModel.delta(after, before)
+        assert d.instructions == 1
+        assert d.flops == 16
+
+
+class TestPaperCalibrationFacts:
+    """The Section 2.1 / Figure 3 architectural facts."""
+
+    def _fmopa_stream(self, n_tiles, n=64):
+        return Trace(FMOPA(TileReg(i % n_tiles), VReg(0), VReg(1)) for i in range(n))
+
+    def test_fp64_outer_product_peak_is_4x_vector_peak(self):
+        cfg = LX2()
+        te = TimingEngine(cfg)
+        matrix = te.run_trace(self._fmopa_stream(8, n=256))
+        vector = te.run_trace(
+            Trace(FMLA(VReg(i % 16), VReg(16), VReg(17)) for i in range(256))
+        )
+        m_rate = matrix.flops / matrix.cycles
+        v_rate = vector.flops / vector.cycles
+        assert m_rate / v_rate == pytest.approx(4.0, rel=0.15)
+
+    def test_peak_needs_four_independent_accumulators(self):
+        """Figure 3a: FMOPA throughput scales up to 4 concurrent tiles."""
+        te = TimingEngine(LX2())
+        rates = {
+            k: te.run_trace(self._fmopa_stream(k)).flops
+            / te.run_trace(self._fmopa_stream(k)).cycles
+            for k in (1, 2, 4, 8)
+        }
+        assert rates[2] > 1.8 * rates[1]
+        assert rates[4] > 3.4 * rates[1]
+        assert rates[8] == pytest.approx(rates[4], rel=0.05)
+
+    def test_matrix_vector_overlap_speedup(self):
+        """Figure 3b: interleaving FMOPA and FMLA gives ~1.5x."""
+        te = TimingEngine(LX2())
+        n = 32
+        iso_m = te.run_trace(Trace(FMOPA(TileReg(i % 4), VReg(0), VReg(1)) for i in range(n)))
+        iso_v = te.run_trace(Trace(FMLA(VReg(2 + i % 8), VReg(0), VReg(1)) for i in range(n)))
+        inter = Trace()
+        for i in range(n):
+            inter.append(FMOPA(TileReg(i % 4), VReg(0), VReg(1)))
+            inter.append(FMLA(VReg(2 + i % 8), VReg(0), VReg(1)))
+        overlap = te.run_trace(inter)
+        speedup = (iso_m.cycles + iso_v.cycles) / overlap.cycles
+        assert 1.3 < speedup < 1.9
+
+    def test_mova_costs_more_than_fmopa(self):
+        """Section 3.1.1: the slice-to-vector transfer dominates."""
+        cfg = LX2()
+        mova = cfg.latencies["mova.tv"]
+        fmopa = cfg.latencies["fmopa"]
+        assert mova.initiation_interval >= 2 * fmopa.initiation_interval
+        assert mova.latency >= 2 * fmopa.latency

@@ -1,0 +1,70 @@
+"""Pipeline timeline recording and rendering."""
+
+from repro.isa.instructions import FMLA, FMOPA, LD1D, PortClass, ST1D
+from repro.isa.program import Trace
+from repro.isa.registers import TileReg, VReg
+from repro.machine.config import LX2
+from repro.machine.timeline import occupancy, record_timeline, render_timeline
+
+
+def sample_trace():
+    return Trace(
+        [
+            LD1D(VReg(0), 1000),
+            LD1D(VReg(1), 1008),
+            FMOPA(TileReg(0), VReg(0), VReg(1)),
+            FMLA(VReg(2), VReg(0), VReg(1)),
+            ST1D(VReg(2), 2000),
+        ]
+    )
+
+
+def test_record_one_event_per_instruction():
+    events = record_timeline(sample_trace(), LX2())
+    assert len(events) == 5
+    assert [e.index for e in events] == list(range(5))
+
+
+def test_issue_cycles_nondecreasing():
+    events = record_timeline(sample_trace(), LX2())
+    cycles = [e.cycle for e in events]
+    assert cycles == sorted(cycles)
+
+
+def test_glyphs_match_instruction_kinds():
+    events = record_timeline(sample_trace(), LX2())
+    assert [e.glyph for e in events] == ["L", "L", "F", "M", "S"]
+
+
+def test_render_contains_lanes_and_legend():
+    events = record_timeline(sample_trace(), LX2())
+    text = render_timeline(events, LX2())
+    assert "V0" in text and "M0" in text and "L0" in text
+    assert "legend" in text
+    assert "F" in text  # the FMOPA shows up
+
+
+def test_render_window():
+    events = record_timeline(sample_trace(), LX2())
+    text = render_timeline(events, LX2(), start=1000, width=10)
+    # nothing issued that late: only dots in the lanes
+    lanes = [l for l in text.splitlines() if l[:2] in ("V0", "M0", "L0")]
+    assert all(set(l[6:]) <= {"."} for l in lanes)
+
+
+def test_dual_issue_visible_in_lanes():
+    trace = Trace(FMLA(VReg(i), VReg(16), VReg(17)) for i in range(4))
+    events = record_timeline(trace, LX2())
+    text = render_timeline(events, LX2(), width=8)
+    v0 = next(l for l in text.splitlines() if l.startswith("V0"))
+    v1 = next(l for l in text.splitlines() if l.startswith("V1"))
+    # both vector lanes carry work in cycle 0
+    assert v0[6] == "M" and v1[6] == "M"
+
+
+def test_occupancy_fractions():
+    events = record_timeline(sample_trace(), LX2())
+    occ = occupancy(events, LX2())
+    assert 0 < occ["L"] <= 1.0
+    assert 0 < occ["M"] <= 1.0
+    assert occupancy([], LX2()) == {}

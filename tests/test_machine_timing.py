@@ -1,0 +1,94 @@
+"""Timing engine: full vs sampled runs, warm passes, extrapolation."""
+
+import pytest
+
+from repro.kernels.base import KernelOptions
+from repro.kernels.registry import make_kernel
+from repro.machine.config import LX2
+from repro.machine.memory import MemorySpace
+from repro.machine.timing import FULL_SIM_POINT_LIMIT, SamplePlan, TimingEngine
+from repro.stencils.grid import Grid2D
+from repro.stencils.library import benchmark
+
+
+def build(method="hstencil", stencil="star2d5p", rows=32, cols=32, unroll=2):
+    spec = benchmark(stencil)
+    mem = MemorySpace()
+    src = Grid2D(mem, rows, cols, spec.radius, "A")
+    dst = Grid2D(mem, rows, cols, spec.radius, "B")
+    return make_kernel(method, spec, src, dst, LX2(), KernelOptions(unroll_j=unroll))
+
+
+class TestFullRuns:
+    def test_counters_cover_all_points(self):
+        k = build()
+        pc = TimingEngine(LX2()).run(k, sample=False, warm=False)
+        assert pc.points == 32 * 32
+        assert pc.cycles > 0
+        assert pc.instructions > 0
+        assert not pc.sampled
+
+    def test_warm_run_faster_than_cold(self):
+        k = build()
+        te = TimingEngine(LX2())
+        cold = te.run(k, sample=False, warm=False)
+        warm = te.run(k, sample=False, warm=True)
+        assert warm.cycles < cold.cycles
+        assert warm.points == cold.points
+
+    def test_label_defaults_to_kernel_name(self):
+        k = build()
+        pc = TimingEngine(LX2()).run(k, sample=False)
+        assert pc.label == "hstencil"
+
+    def test_runs_are_deterministic(self):
+        a = TimingEngine(LX2()).run(build(), sample=False)
+        b = TimingEngine(LX2()).run(build(), sample=False)
+        assert a.cycles == b.cycles
+        assert a.instructions == b.instructions
+        assert a.l1_hits == b.l1_hits
+
+
+class TestSampledRuns:
+    def test_sampled_matches_full_within_tolerance(self):
+        """Band sampling must agree with the full simulation in steady state."""
+        k_full = build(rows=64, cols=64, unroll=2)
+        full = TimingEngine(LX2()).run(k_full, sample=False, warm=False)
+        k_samp = build(rows=64, cols=64, unroll=2)
+        plan = SamplePlan(warmup_bands=1, min_measure_points=2048)
+        samp = TimingEngine(LX2()).run(k_samp, sample=True, plan=plan)
+        assert samp.sampled
+        assert samp.points == full.points
+        assert samp.cycles == pytest.approx(full.cycles, rel=0.25)
+
+    def test_auto_sampling_threshold(self):
+        small = build(rows=32, cols=32)
+        pc = TimingEngine(LX2()).run(small)  # 1024 points -> full sim
+        assert not pc.sampled
+        assert 32 * 32 < FULL_SIM_POINT_LIMIT
+
+    def test_sampled_counters_scale_to_grid(self):
+        k = build(rows=64, cols=64)
+        plan = SamplePlan(warmup_bands=1, min_measure_points=1024)
+        pc = TimingEngine(LX2()).run(k, sample=True, plan=plan)
+        assert pc.points == 64 * 64
+        # Extrapolated instruction count close to the full run's.
+        full = TimingEngine(LX2()).run(build(rows=64, cols=64), sample=False, warm=False)
+        assert pc.instructions == pytest.approx(full.instructions, rel=0.2)
+
+    def test_max_measure_bands_respected(self):
+        k = build(rows=64, cols=64)
+        plan = SamplePlan(warmup_bands=1, min_measure_points=10**9, max_measure_bands=2)
+        pc = TimingEngine(LX2()).run(k, sample=True, plan=plan)
+        assert pc.sampled
+        assert pc.points == 64 * 64
+
+
+class TestTraceRuns:
+    def test_run_trace_label(self):
+        from repro.isa.instructions import SCALAR_OP
+        from repro.isa.program import Trace
+
+        pc = TimingEngine(LX2()).run_trace(Trace([SCALAR_OP()]), label="micro")
+        assert pc.label == "micro"
+        assert pc.instructions == 1

@@ -1,0 +1,115 @@
+"""Masked (predicated) loads/stores and arbitrary-size kernel support."""
+
+import numpy as np
+import pytest
+
+from repro import HStencil, KernelOptions
+from repro.isa.asm import format_instruction, parse_instruction
+from repro.isa.instructions import LD1D, ST1D, ST1D_SLICE
+from repro.isa.registers import TileReg, VReg
+from repro.machine.functional import FunctionalEngine
+from repro.machine.memory import MemorySpace
+from repro.stencils.reference import apply_reference
+from repro.stencils.spec import box2d, star2d, star3d
+
+
+class TestMaskedSemantics:
+    def test_masked_load_zero_fills(self):
+        eng = FunctionalEngine(MemorySpace())
+        base = eng.memory.alloc(8)
+        eng.memory.write(base, np.arange(8.0))
+        eng.execute(LD1D(VReg(0), base, mask=3))
+        got = eng.regs.read_v(VReg(0))
+        assert np.array_equal(got[:3], [0.0, 1.0, 2.0])
+        assert np.all(got[3:] == 0.0)
+
+    def test_masked_store_leaves_tail_untouched(self):
+        eng = FunctionalEngine(MemorySpace())
+        base = eng.memory.alloc(8)
+        eng.memory.write(base, np.full(8, 9.0))
+        eng.regs.write_v(VReg(1), np.arange(8.0))
+        eng.execute(ST1D(VReg(1), base, mask=5))
+        got = eng.memory.read(base, 8)
+        assert np.array_equal(got[:5], np.arange(5.0))
+        assert np.all(got[5:] == 9.0)
+
+    def test_masked_slice_store(self):
+        eng = FunctionalEngine(MemorySpace())
+        base = eng.memory.alloc(8)
+        eng.regs.write_slice(TileReg(0), 2, np.arange(8.0))
+        eng.execute(ST1D_SLICE(TileReg(0), 2, base, mask=2))
+        got = eng.memory.read(base, 8)
+        assert np.array_equal(got[:2], [0.0, 1.0])
+        assert np.all(got[2:] == 0.0)
+
+    def test_mask_bounds_checked(self):
+        with pytest.raises(ValueError):
+            LD1D(VReg(0), 0, mask=0)
+        with pytest.raises(ValueError):
+            ST1D(VReg(0), 0, mask=9)
+
+    def test_masked_memory_footprint(self):
+        assert LD1D(VReg(0), 100, mask=3).mem_reads() == ((100, 3),)
+        assert ST1D(VReg(0), 100, mask=3).mem_writes() == ((100, 3),)
+
+    def test_asm_roundtrip_with_mask(self):
+        for ins in (LD1D(VReg(1), 64, mask=5), ST1D(VReg(2), 72, mask=1),
+                    ST1D_SLICE(TileReg(3), 4, 80, mask=7)):
+            text = format_instruction(ins)
+            assert "mask=" in text
+            back = parse_instruction(text)
+            assert back.mask == ins.mask
+
+    def test_full_mask_renders_plain(self):
+        assert "mask" not in format_instruction(LD1D(VReg(0), 8))
+
+
+def _check(spec, interior, seed=3, **hs_kwargs):
+    r = spec.radius
+    field = np.random.default_rng(seed).random(
+        tuple(s + 2 * r for s in interior)
+    )
+    out = HStencil(spec, **hs_kwargs).apply(field)
+    ref = apply_reference(field, spec)
+    scale = max(float(np.max(np.abs(ref))), 1e-30)
+    assert float(np.max(np.abs(out - ref))) / scale < 1e-11
+
+
+class TestArbitrarySizes:
+    @pytest.mark.parametrize(
+        "interior",
+        [(9, 9), (13, 27), (8, 33), (17, 32), (10, 7), (23, 65)],
+    )
+    def test_star_odd_shapes(self, interior):
+        _check(star2d(2), interior)
+
+    @pytest.mark.parametrize("interior", [(9, 9), (15, 31), (12, 50)])
+    def test_box_odd_shapes(self, interior):
+        _check(box2d(2), interior)
+
+    def test_radius1_minimum_grid(self):
+        _check(star2d(1), (1, 1))
+
+    def test_single_row(self):
+        _check(star2d(1), (1, 40))
+
+    def test_single_column_block(self):
+        _check(box2d(1), (40, 3))
+
+    def test_3d_odd_shapes(self):
+        _check(star3d(1), (3, 9, 21), options=KernelOptions(unroll_j=2))
+
+    def test_odd_shapes_with_prefetch(self):
+        _check(star2d(2), (13, 27), method="hstencil-prefetch")
+
+    def test_odd_shapes_unscheduled(self):
+        _check(star2d(2), (13, 27), method="hstencil-nosched")
+
+    @pytest.mark.parametrize("unroll", [1, 2, 4, 8])
+    def test_odd_shapes_all_unrolls(self, unroll):
+        _check(box2d(1), (11, 29), options=KernelOptions(unroll_j=unroll))
+
+    def test_timing_runs_on_odd_shapes(self):
+        pc = HStencil(star2d(1)).benchmark(13, 29)
+        assert pc.points == 13 * 29
+        assert pc.cycles > 0

@@ -1,0 +1,263 @@
+"""Property-based tests (hypothesis) on core invariants.
+
+Four invariant families:
+
+* kernel correctness over random stencil coefficients and grid shapes;
+* the list scheduler preserves functional semantics for arbitrary traces;
+* cache simulator invariants (occupancy bounds, hit monotonicity, stats);
+* sliding coefficient-vector construction matches its defining equation.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.isa.instructions import EXT, FADD_V, FMLA, FMOPA, LD1D, SET_LANES, ST1D
+from repro.isa.program import Trace
+from repro.isa.registers import SVL_LANES, TileReg, VReg
+from repro.kernels.base import KernelOptions, sliding_vectors, rows_for_placement
+from repro.kernels.registry import make_kernel
+from repro.kernels.scheduling import schedule_trace
+from repro.machine.cache import CacheHierarchy
+from repro.machine.config import LX2
+from repro.machine.functional import FunctionalEngine
+from repro.machine.memory import MemorySpace
+from repro.stencils.grid import Grid2D
+from repro.stencils.reference import reference_stencil_2d
+from repro.stencils.spec import box2d, star2d
+
+LX2_CFG = LX2()
+
+# ---------------------------------------------------------------------------
+# Kernel correctness over random stencils
+# ---------------------------------------------------------------------------
+
+coeff_values = st.floats(min_value=-2.0, max_value=2.0, allow_nan=False).map(
+    lambda v: round(v, 3)
+)
+
+
+@st.composite
+def random_star_spec(draw):
+    r = draw(st.integers(min_value=1, max_value=3))
+    side = 2 * r + 1
+    plane = np.zeros((side, side))
+    for k in range(side):
+        plane[r, k] = draw(coeff_values)
+        plane[k, r] = draw(coeff_values)
+    # Keep at least one nonzero so the spec is a real stencil.
+    if not np.any(plane):
+        plane[r, r] = 1.0
+    return star2d(r, coefficients=plane, name=f"prop-star-r{r}")
+
+
+@st.composite
+def random_box_spec(draw):
+    r = draw(st.integers(min_value=1, max_value=2))
+    side = 2 * r + 1
+    plane = np.array(
+        [[draw(coeff_values) for _ in range(side)] for _ in range(side)]
+    )
+    if not np.any(plane):
+        plane[r, r] = 1.0
+    return box2d(r, coefficients=plane, name=f"prop-box-r{r}")
+
+
+def _check_kernel(spec, method, rows, cols, seed):
+    mem = MemorySpace()
+    src = Grid2D(mem, rows, cols, spec.radius, "A", fill="random", seed=seed)
+    dst = Grid2D(mem, rows, cols, spec.radius, "B")
+    kernel = make_kernel(method, spec, src, dst, LX2_CFG, KernelOptions(unroll_j=2))
+    FunctionalEngine(mem).run_kernel(kernel)
+    got = dst.get_interior()
+    ref = reference_stencil_2d(src.get_full(), spec)
+    scale = max(np.max(np.abs(ref)), 1e-30)
+    assert np.max(np.abs(got - ref)) / scale < 1e-10
+
+
+@settings(max_examples=20, deadline=None)
+@given(spec=random_star_spec(), seed=st.integers(0, 1000))
+def test_hstencil_correct_for_random_star_coefficients(spec, seed):
+    _check_kernel(spec, "hstencil", 16, 32, seed)
+
+
+@settings(max_examples=15, deadline=None)
+@given(spec=random_box_spec(), seed=st.integers(0, 1000))
+def test_hstencil_correct_for_random_box_coefficients(spec, seed):
+    _check_kernel(spec, "hstencil", 16, 32, seed)
+
+
+@settings(max_examples=10, deadline=None)
+@given(spec=random_star_spec(), seed=st.integers(0, 1000))
+def test_matrix_only_correct_for_random_star_coefficients(spec, seed):
+    _check_kernel(spec, "matrix-only", 16, 32, seed)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    rows=st.integers(1, 4).map(lambda k: 8 * k),
+    panels=st.integers(1, 3),
+    seed=st.integers(0, 100),
+)
+def test_hstencil_correct_for_random_shapes(rows, panels, seed):
+    _check_kernel(star2d(2), "hstencil", rows, 16 * panels, seed)
+
+
+# ---------------------------------------------------------------------------
+# Scheduler semantics preservation on arbitrary traces
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def random_trace(draw):
+    """A random well-formed trace over a small register/memory window."""
+    mem_slots = 8  # eight vector-sized memory cells
+    n = draw(st.integers(4, 40))
+    out = []
+    for _ in range(n):
+        kind = draw(st.sampled_from(["ld", "st", "fmla", "fadd", "ext", "fmopa", "set"]))
+        if kind == "ld":
+            out.append(LD1D(VReg(draw(st.integers(0, 7))), 1024 + 8 * draw(st.integers(0, mem_slots - 1))))
+        elif kind == "st":
+            out.append(ST1D(VReg(draw(st.integers(0, 7))), 1024 + 8 * draw(st.integers(0, mem_slots - 1))))
+        elif kind == "fmla":
+            out.append(
+                FMLA(VReg(draw(st.integers(0, 7))), VReg(draw(st.integers(0, 7))), VReg(draw(st.integers(0, 7))))
+            )
+        elif kind == "fadd":
+            out.append(
+                FADD_V(VReg(draw(st.integers(0, 7))), VReg(draw(st.integers(0, 7))), VReg(draw(st.integers(0, 7))))
+            )
+        elif kind == "ext":
+            out.append(
+                EXT(
+                    VReg(draw(st.integers(0, 7))),
+                    VReg(draw(st.integers(0, 7))),
+                    VReg(draw(st.integers(0, 7))),
+                    draw(st.integers(0, 8)),
+                )
+            )
+        elif kind == "fmopa":
+            out.append(
+                FMOPA(
+                    TileReg(draw(st.integers(0, 3))),
+                    VReg(draw(st.integers(0, 7))),
+                    VReg(draw(st.integers(0, 7))),
+                )
+            )
+        else:
+            vals = tuple(float(draw(st.integers(-3, 3))) for _ in range(SVL_LANES))
+            out.append(SET_LANES(VReg(draw(st.integers(0, 7))), vals))
+    return Trace(out)
+
+
+def _final_state(trace):
+    mem = MemorySpace()
+    base = mem.alloc(8 * 8)  # the eight cells at 1024.. (allocator base)
+    assert base == 1024
+    mem.write(base, np.arange(64.0))
+    eng = FunctionalEngine(mem)
+    eng.execute_trace(trace)
+    regs = np.stack([eng.regs.read_v(VReg(i)) for i in range(8)])
+    tiles = np.stack([eng.regs.read_tile(TileReg(i)) for i in range(4)])
+    memory = mem.read(base, 64)
+    return regs, tiles, memory
+
+
+@settings(max_examples=60, deadline=None)
+@given(trace=random_trace())
+def test_scheduler_preserves_memory_semantics(trace):
+    """Memory state after a scheduled trace equals the unscheduled state.
+
+    (Register/tile end-state may legitimately differ when dead writes are
+    reordered; memory is the architectural output that must not change.)
+    """
+    _, _, mem_plain = _final_state(trace)
+    scheduled = schedule_trace(Trace(list(trace)), LX2_CFG)
+    _, _, mem_sched = _final_state(scheduled)
+    assert np.allclose(mem_plain, mem_sched, rtol=1e-12, atol=1e-12)
+
+
+@settings(max_examples=30, deadline=None)
+@given(trace=random_trace(), window=st.integers(2, 16))
+def test_windowed_scheduler_preserves_memory_semantics(trace, window):
+    _, _, mem_plain = _final_state(trace)
+    scheduled = schedule_trace(Trace(list(trace)), LX2_CFG, window=window)
+    _, _, mem_sched = _final_state(scheduled)
+    assert np.allclose(mem_plain, mem_sched, rtol=1e-12, atol=1e-12)
+
+
+@settings(max_examples=30, deadline=None)
+@given(trace=random_trace())
+def test_scheduler_output_is_permutation(trace):
+    scheduled = schedule_trace(Trace(list(trace)), LX2_CFG)
+    assert sorted(map(id, scheduled)) == sorted(map(id, trace))
+
+
+# ---------------------------------------------------------------------------
+# Cache invariants
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    addrs=st.lists(st.integers(0, 4096).map(lambda a: a * 8), min_size=1, max_size=200),
+    writes=st.lists(st.booleans(), min_size=1, max_size=200),
+)
+def test_cache_occupancy_and_stats_invariants(addrs, writes):
+    h = CacheHierarchy(LX2_CFG)
+    for addr, w in zip(addrs, writes):
+        h.demand_access(addr, 8, write=w)
+    # occupancy never exceeds capacity
+    assert h.l1.resident_lines() <= h.l1.num_sets * h.l1.assoc
+    assert h.l2.resident_lines() <= h.l2.num_sets * h.l2.assoc
+    # stats are consistent
+    assert h.l1.stats.demand_hits <= h.l1.stats.demand_accesses
+    assert h.l2.stats.demand_accesses <= h.l1.stats.demand_accesses
+    # every DRAM line read corresponds to an L2 demand miss
+    assert h.mem_lines_read == h.l2.stats.demand_accesses - h.l2.stats.demand_hits
+
+
+@settings(max_examples=20, deadline=None)
+@given(addr=st.integers(0, 1000).map(lambda a: a * 8))
+def test_cache_immediate_rereference_hits(addr):
+    h = CacheHierarchy(LX2_CFG)
+    h.demand_access(addr, 8, write=False)
+    from repro.machine.cache import L1
+
+    assert h.demand_access(addr, 8, write=False) == L1
+
+
+# ---------------------------------------------------------------------------
+# Sliding-vector construction
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    r=st.integers(1, 4),
+    data=st.data(),
+)
+def test_sliding_vectors_defining_equation(r, data):
+    side = 2 * r + 1
+    column = np.array([data.draw(coeff_values) for _ in range(side)])
+    table = sliding_vectors(column, r)
+    assert table.shape == (SVL_LANES + 2 * r, SVL_LANES)
+    for di, d in enumerate(range(-r, SVL_LANES + r)):
+        for k in range(SVL_LANES):
+            idx = d - k + r
+            expect = column[idx] if 0 <= idx < side else 0.0
+            assert table[di, k] == expect
+
+
+@settings(max_examples=40, deadline=None)
+@given(r=st.integers(1, 4), d=st.integers(-4, 11), data=st.data())
+def test_rows_for_placement_matches_nonzeros(r, d, data):
+    if not -r <= d < SVL_LANES + r:
+        d = max(-r, min(d, SVL_LANES + r - 1))
+    side = 2 * r + 1
+    column = np.array([data.draw(coeff_values) for _ in range(side)])
+    rows = rows_for_placement(column, r, d)
+    table = sliding_vectors(column, r)
+    expect = tuple(int(k) for k in np.nonzero(table[d + r])[0])
+    assert rows == expect

@@ -1,0 +1,81 @@
+"""Property-based tests on grid layout and addressing."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.isa.registers import SVL_LANES
+from repro.machine.memory import MemorySpace
+from repro.stencils.grid import BASE_ALIGN_WORDS, Grid2D, Grid3D
+
+
+grid_dims = st.tuples(st.integers(1, 40), st.integers(1, 60), st.integers(0, 4))
+
+
+@settings(max_examples=40, deadline=None)
+@given(dims=grid_dims)
+def test_addressing_is_injective(dims):
+    rows, cols, r = dims
+    g = Grid2D(MemorySpace(), rows, cols, r, "A")
+    seen = set()
+    for i in range(-r, rows + r):
+        for j in range(-r, cols + r):
+            a = g.addr(i, j)
+            assert a not in seen
+            seen.add(a)
+
+
+@settings(max_examples=40, deadline=None)
+@given(dims=grid_dims)
+def test_rows_contiguous_and_strided(dims):
+    rows, cols, r = dims
+    g = Grid2D(MemorySpace(), rows, cols, r, "A")
+    for i in range(min(rows, 4)):
+        assert g.addr(i, 1) == g.addr(i, 0) + 1
+        if i + 1 < rows:
+            assert g.addr(i + 1, 0) - g.addr(i, 0) == g.row_stride
+
+
+@settings(max_examples=40, deadline=None)
+@given(dims=grid_dims)
+def test_interior_origin_line_aligned(dims):
+    rows, cols, r = dims
+    g = Grid2D(MemorySpace(), rows, cols, r, "A")
+    assert g.addr(0, 0) % SVL_LANES == 0
+
+
+@settings(max_examples=30, deadline=None)
+@given(dims=grid_dims, seed=st.integers(0, 1000))
+def test_full_roundtrip_property(dims, seed):
+    rows, cols, r = dims
+    g = Grid2D(MemorySpace(), rows, cols, r, "A")
+    full = np.random.default_rng(seed).random((rows + 2 * r, cols + 2 * r))
+    g.set_full(full)
+    assert np.array_equal(g.get_full(), full)
+    assert np.array_equal(g.get_interior(), full[r:, r:][:rows, :cols])
+
+
+@settings(max_examples=30, deadline=None)
+@given(dims=grid_dims)
+def test_base_phase_independent_of_allocation_history(dims):
+    """The set-phase of a grid depends only on its name (DESIGN.md)."""
+    rows, cols, r = dims
+    a1 = Grid2D(MemorySpace(), rows, cols, r, "A")
+    mem2 = MemorySpace()
+    mem2.alloc(12345, "noise")
+    a2 = Grid2D(mem2, rows + 8, cols, r, "A")
+    assert a1.base % BASE_ALIGN_WORDS == a2.base % BASE_ALIGN_WORDS
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    depth=st.integers(1, 6),
+    rows=st.integers(1, 12),
+    cols=st.integers(1, 24),
+    r=st.integers(0, 2),
+)
+def test_3d_plane_addressing(depth, rows, cols, r):
+    g = Grid3D(MemorySpace(), depth, rows, cols, r, "V")
+    for z in range(min(depth, 3)):
+        assert g.addr(z, 0, 0) == g.addr(0, 0, 0) + z * g.plane_stride
+    # planes never overlap
+    assert g.plane_stride >= (rows + 2 * r) * g.row_stride

@@ -1,0 +1,160 @@
+"""Property-based tests on the timing model and scheduling quality."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.isa.instructions import EXT, FMLA, FMOPA, LD1D, ST1D
+from repro.isa.program import Trace
+from repro.isa.registers import TileReg, VReg
+from repro.kernels.base import KernelOptions
+from repro.kernels.registry import make_kernel
+from repro.kernels.scheduling import schedule_trace
+from repro.machine.config import LX2
+from repro.machine.memory import MemorySpace
+from repro.machine.pipeline import PipelineModel
+from repro.machine.timing import TimingEngine
+from repro.stencils.grid import Grid2D
+from repro.stencils.spec import box2d, star2d
+
+LX2_CFG = LX2()
+
+
+@st.composite
+def small_trace(draw):
+    n = draw(st.integers(3, 30))
+    out = Trace()
+    for _ in range(n):
+        kind = draw(st.sampled_from(["ld", "st", "fmla", "ext", "fmopa"]))
+        if kind == "ld":
+            out.append(LD1D(VReg(draw(st.integers(0, 7))), 1024 + 8 * draw(st.integers(0, 63))))
+        elif kind == "st":
+            out.append(ST1D(VReg(draw(st.integers(0, 7))), 2048 + 8 * draw(st.integers(0, 63))))
+        elif kind == "fmla":
+            out.append(
+                FMLA(VReg(draw(st.integers(0, 7))), VReg(draw(st.integers(0, 7))), VReg(draw(st.integers(0, 7))))
+            )
+        elif kind == "ext":
+            out.append(
+                EXT(VReg(draw(st.integers(0, 7))), VReg(draw(st.integers(0, 7))), VReg(draw(st.integers(0, 7))), draw(st.integers(0, 8)))
+            )
+        else:
+            out.append(
+                FMOPA(TileReg(draw(st.integers(0, 3))), VReg(draw(st.integers(0, 7))), VReg(draw(st.integers(0, 7))))
+            )
+    return out
+
+
+@settings(max_examples=40, deadline=None)
+@given(trace=small_trace())
+def test_timing_is_deterministic(trace):
+    a = TimingEngine(LX2_CFG).run_trace(Trace(list(trace)))
+    b = TimingEngine(LX2_CFG).run_trace(Trace(list(trace)))
+    assert a.cycles == b.cycles
+    assert a.instructions == b.instructions
+    assert a.l1_hits == b.l1_hits
+
+
+@settings(max_examples=40, deadline=None)
+@given(trace=small_trace(), extra=small_trace())
+def test_makespan_monotone_under_extension(trace, extra):
+    """Appending instructions never reduces the makespan."""
+    base = TimingEngine(LX2_CFG).run_trace(Trace(list(trace)))
+    longer = TimingEngine(LX2_CFG).run_trace(Trace(list(trace) + list(extra)))
+    assert longer.cycles >= base.cycles
+
+
+@settings(max_examples=40, deadline=None)
+@given(trace=small_trace())
+def test_issue_cycles_nondecreasing(trace):
+    """In-order issue: cycles are monotone over the program."""
+    pipe = PipelineModel(LX2_CFG)
+    last = 0
+    for ins in trace:
+        t = pipe.process(ins)
+        assert t >= last
+        last = t
+
+
+@settings(max_examples=40, deadline=None)
+@given(trace=small_trace())
+def test_ipc_never_exceeds_issue_width(trace):
+    pc = TimingEngine(LX2_CFG).run_trace(trace)
+    assert pc.ipc <= LX2_CFG.issue_width + 1e-9
+
+
+@st.composite
+def rotating_trace(draw):
+    """Traces in the style kernels emit: destinations rotate (no WAW
+    pile-ups on a single register), which is the regime the greedy
+    scheduler is built for."""
+    n = draw(st.integers(6, 30))
+    out = Trace()
+    dest = 0
+    for _ in range(n):
+        kind = draw(st.sampled_from(["ld", "st", "fmla", "fmopa"]))
+        if kind == "ld":
+            out.append(LD1D(VReg(dest % 8), 1024 + 8 * draw(st.integers(0, 63))))
+            dest += 1
+        elif kind == "st":
+            out.append(ST1D(VReg(draw(st.integers(0, 7))), 2048 + 8 * draw(st.integers(0, 63))))
+        elif kind == "fmla":
+            out.append(FMLA(VReg(dest % 8), VReg(draw(st.integers(0, 7))), VReg(draw(st.integers(0, 7)))))
+            dest += 1
+        else:
+            out.append(
+                FMOPA(TileReg(draw(st.integers(0, 3))), VReg(draw(st.integers(0, 7))), VReg(draw(st.integers(0, 7))))
+            )
+    return out
+
+
+@settings(max_examples=25, deadline=None)
+@given(trace=rotating_trace())
+def test_scheduling_never_hurts_cached_timing(trace):
+    """For rotation-style traces (the kernels' emission style), the list
+    schedule's measured makespan does not lose to the original order.
+
+    A small allowance covers cache-order effects the scheduler's
+    L1-hit-latency heuristic cannot see.
+    """
+    plain = TimingEngine(LX2_CFG).run_trace(Trace(list(trace)))
+    sched = schedule_trace(Trace(list(trace)), LX2_CFG)
+    timed = TimingEngine(LX2_CFG).run_trace(sched)
+    assert timed.cycles <= plain.cycles * 1.25 + 16
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    rows=st.integers(1, 3).map(lambda k: 8 * k),
+    seed=st.integers(0, 10),
+    radius=st.integers(1, 2),
+)
+def test_kernel_timing_deterministic_across_builds(rows, seed, radius):
+    """Two independently built identical kernels time identically."""
+    spec = star2d(radius)
+
+    def measure():
+        mem = MemorySpace()
+        src = Grid2D(mem, rows, 32, radius, "A")
+        dst = Grid2D(mem, rows, 32, radius, "B")
+        k = make_kernel("hstencil", spec, src, dst, LX2_CFG, KernelOptions(unroll_j=2))
+        return TimingEngine(LX2_CFG).run(k, warm=False)
+
+    a, b = measure(), measure()
+    assert a.cycles == b.cycles
+    assert a.l1_hits == b.l1_hits
+
+
+@settings(max_examples=6, deadline=None)
+@given(radius=st.integers(1, 2), seed=st.integers(0, 5))
+def test_global_schedule_not_slower_than_body_schedule(radius, seed):
+    """Whole-block scheduling never loses to body-local scheduling."""
+    spec = box2d(radius)
+
+    def measure(method):
+        mem = MemorySpace()
+        src = Grid2D(mem, 16, 32, radius, "A")
+        dst = Grid2D(mem, 16, 32, radius, "B")
+        k = make_kernel(method, spec, src, dst, LX2_CFG, KernelOptions(unroll_j=2))
+        return TimingEngine(LX2_CFG).run(k, warm=True).cycles
+
+    assert measure("hstencil") <= measure("hstencil-nosched") * 1.02

@@ -1,0 +1,135 @@
+"""Grid layout: addressing, halos, alignment, bulk IO."""
+
+import numpy as np
+import pytest
+
+from repro.isa.registers import SVL_LANES
+from repro.machine.memory import MemorySpace
+from repro.stencils.grid import Grid2D, Grid3D
+
+
+class TestGrid2D:
+    def test_interior_origin_line_aligned(self):
+        mem = MemorySpace()
+        g = Grid2D(mem, 16, 24, 2, "A")
+        assert g.addr(0, 0) % SVL_LANES == 0
+
+    def test_row_stride_padded_to_vector(self):
+        mem = MemorySpace()
+        g = Grid2D(mem, 16, 24, 3, "A")
+        assert g.row_stride % SVL_LANES == 0
+        assert g.row_stride >= g.left_pad + 24 + 3
+
+    def test_halo_addressing(self):
+        mem = MemorySpace()
+        g = Grid2D(mem, 8, 16, 2, "A")
+        # corners of the halo are addressable
+        g.addr(-2, -2)
+        g.addr(9, 17)
+        with pytest.raises(IndexError):
+            g.addr(-3, 0)
+        with pytest.raises(IndexError):
+            g.addr(10, 0)
+
+    def test_left_pad_covers_vector_load(self):
+        """Shifted loads at j=-8 (EXT neighbours) must stay in the row."""
+        mem = MemorySpace()
+        g = Grid2D(mem, 8, 16, 1, "A")
+        assert g.left_pad >= SVL_LANES or g.left_pad == 0
+        g.addr(0, -SVL_LANES)
+
+    def test_rows_are_contiguous_in_memory(self):
+        mem = MemorySpace()
+        g = Grid2D(mem, 8, 16, 1, "A")
+        assert g.addr(1, 0) - g.addr(0, 0) == g.row_stride
+
+    def test_full_roundtrip(self):
+        mem = MemorySpace()
+        g = Grid2D(mem, 8, 16, 2, "A")
+        full = np.arange((8 + 4) * (16 + 4), dtype=float).reshape(12, 20)
+        g.set_full(full)
+        assert np.array_equal(g.get_full(), full)
+
+    def test_interior_roundtrip(self):
+        mem = MemorySpace()
+        g = Grid2D(mem, 8, 16, 2, "A")
+        interior = np.arange(8 * 16, dtype=float).reshape(8, 16)
+        g.set_interior(interior)
+        assert np.array_equal(g.get_interior(), interior)
+
+    def test_interior_consistent_with_full(self):
+        mem = MemorySpace()
+        g = Grid2D(mem, 8, 16, 2, "A", fill="random", seed=3)
+        full = g.get_full()
+        assert np.array_equal(g.get_interior(), full[2:-2, 2:-2])
+
+    def test_randomize_fills_halo(self):
+        mem = MemorySpace()
+        g = Grid2D(mem, 8, 16, 2, "A", fill="random", seed=5)
+        full = g.get_full()
+        assert np.any(full[0] != 0.0)  # halo row is populated
+
+    def test_randomize_deterministic(self):
+        a = Grid2D(MemorySpace(), 8, 16, 1, "A", fill="random", seed=7).get_full()
+        b = Grid2D(MemorySpace(), 8, 16, 1, "A", fill="random", seed=7).get_full()
+        assert np.array_equal(a, b)
+
+    def test_get_rows(self):
+        mem = MemorySpace()
+        g = Grid2D(mem, 8, 16, 1, "A", fill="random", seed=1)
+        rows = g.get_rows(2, 5)
+        assert rows.shape == (3, 16)
+        assert np.array_equal(rows, g.get_interior()[2:5])
+
+    def test_shape_validation(self):
+        mem = MemorySpace()
+        g = Grid2D(mem, 8, 16, 1, "A")
+        with pytest.raises(ValueError):
+            g.set_interior(np.zeros((8, 15)))
+        with pytest.raises(ValueError):
+            g.set_full(np.zeros((9, 18)))
+
+    def test_bad_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            Grid2D(MemorySpace(), 0, 8, 1, "A")
+        with pytest.raises(ValueError):
+            Grid2D(MemorySpace(), 8, 8, -1, "A")
+
+    def test_unknown_fill_rejected(self):
+        with pytest.raises(ValueError):
+            Grid2D(MemorySpace(), 8, 8, 1, "A", fill="ones")
+
+
+class TestGrid3D:
+    def test_plane_stride(self):
+        mem = MemorySpace()
+        g = Grid3D(mem, 4, 8, 16, 1, "V")
+        assert g.addr(1, 0, 0) - g.addr(0, 0, 0) == g.plane_stride
+
+    def test_halo_addressing_3d(self):
+        mem = MemorySpace()
+        g = Grid3D(mem, 4, 8, 16, 1, "V")
+        g.addr(-1, -1, -1)
+        g.addr(4, 8, 16)
+        with pytest.raises(IndexError):
+            g.addr(5, 0, 0)
+
+    def test_full_roundtrip_3d(self):
+        mem = MemorySpace()
+        g = Grid3D(mem, 2, 4, 8, 1, "V")
+        full = np.arange(4 * 6 * 10, dtype=float).reshape(4, 6, 10)
+        g.set_full(full)
+        assert np.array_equal(g.get_full(), full)
+
+    def test_interior_consistent_with_full_3d(self):
+        mem = MemorySpace()
+        g = Grid3D(mem, 2, 4, 8, 1, "V", fill="random", seed=9)
+        full = g.get_full()
+        assert np.array_equal(g.get_interior(), full[1:-1, 1:-1, 1:-1])
+
+    def test_plane_view(self):
+        mem = MemorySpace()
+        g = Grid3D(mem, 2, 4, 8, 1, "V")
+        base, stride = g.plane_view(0)
+        assert base == g.addr(0, -1, -1)
+        assert stride == g.row_stride

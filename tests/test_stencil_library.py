@@ -1,0 +1,52 @@
+"""Named stencil benchmark registry."""
+
+import pytest
+
+from repro.stencils.library import BENCHMARKS, SUITE_2D, SUITE_3D, benchmark, benchmark_names
+
+
+def test_all_registered_names_build():
+    for name in BENCHMARKS:
+        spec = benchmark(name)
+        assert spec.num_points >= 5
+
+
+def test_lookup_is_cached():
+    assert benchmark("star2d5p") is benchmark("star2d5p")
+
+
+def test_unknown_name_raises():
+    with pytest.raises(KeyError):
+        benchmark("star2d99p")
+
+
+def test_suites_are_registered():
+    for name in SUITE_2D + SUITE_3D:
+        assert name in BENCHMARKS
+
+
+def test_suite_dimensionality():
+    assert all(benchmark(n).ndim == 2 for n in SUITE_2D)
+    assert all(benchmark(n).ndim == 3 for n in SUITE_3D)
+
+
+def test_name_point_convention():
+    """The NP suffix in every name matches the actual tap count."""
+    for name in BENCHMARKS:
+        if name == "heat2d":
+            continue
+        spec = benchmark(name)
+        assert name.endswith(f"{spec.num_points}p")
+
+
+def test_filtering():
+    stars = benchmark_names(pattern="star")
+    assert "star2d5p" in stars and "box2d9p" not in stars
+    three_d = benchmark_names(ndim=3)
+    assert all(benchmark(n).ndim == 3 for n in three_d)
+    star3 = benchmark_names(pattern="star", ndim=3)
+    assert star3 == ("star3d7p", "star3d13p")
+
+
+def test_heat2d_registered_as_star():
+    assert benchmark("heat2d").pattern == "star"

@@ -1,0 +1,121 @@
+"""NumPy reference stencils: shapes, correctness on hand-checkable cases."""
+
+import numpy as np
+import pytest
+
+from repro.stencils.reference import (
+    apply_reference,
+    iterate_reference,
+    reference_stencil_2d,
+    reference_stencil_3d,
+)
+from repro.stencils.spec import box2d, box3d, heat2d, star2d, star3d
+
+
+class TestReference2D:
+    def test_output_shape(self):
+        full = np.zeros((12, 20))
+        out = reference_stencil_2d(full, star2d(2))
+        assert out.shape == (8, 16)
+
+    def test_identity_like_stencil(self):
+        plane = np.zeros((3, 3))
+        plane[1, 1] = 1.0
+        spec = star2d(1, coefficients=plane)
+        rng = np.random.default_rng(0)
+        full = rng.random((10, 10))
+        out = reference_stencil_2d(full, spec)
+        assert np.array_equal(out, full[1:-1, 1:-1])
+
+    def test_shift_stencil(self):
+        """A single off-center tap is a pure shift."""
+        plane = np.zeros((3, 3))
+        plane[1, 2] = 1.0  # east neighbour (dj=+1)
+        spec = star2d(1, coefficients=plane)
+        full = np.arange(100.0).reshape(10, 10)
+        out = reference_stencil_2d(full, spec)
+        assert np.array_equal(out, full[1:-1, 2:])
+
+    def test_vertical_shift_orientation(self):
+        plane = np.zeros((3, 3))
+        plane[0, 1] = 1.0  # north neighbour (di=-1)
+        spec = star2d(1, coefficients=plane)
+        full = np.arange(100.0).reshape(10, 10)
+        out = reference_stencil_2d(full, spec)
+        assert np.array_equal(out, full[0:-2, 1:-1])
+
+    def test_constant_field_times_coefficient_sum(self):
+        spec = box2d(2)
+        full = np.full((14, 14), 3.0)
+        out = reference_stencil_2d(full, spec)
+        assert np.allclose(out, 3.0 * spec.coeffs2d.sum())
+
+    def test_linearity(self):
+        spec = star2d(2)
+        rng = np.random.default_rng(1)
+        a = rng.random((12, 12))
+        b = rng.random((12, 12))
+        lhs = reference_stencil_2d(2.0 * a + b, spec)
+        rhs = 2.0 * reference_stencil_2d(a, spec) + reference_stencil_2d(b, spec)
+        assert np.allclose(lhs, rhs)
+
+    def test_too_small_array_rejected(self):
+        with pytest.raises(ValueError):
+            reference_stencil_2d(np.zeros((4, 4)), star2d(2))
+
+    def test_wrong_dimensionality_rejected(self):
+        with pytest.raises(ValueError):
+            reference_stencil_2d(np.zeros((10, 10)), star3d(1))
+
+
+class TestReference3D:
+    def test_output_shape(self):
+        full = np.zeros((6, 10, 12))
+        out = reference_stencil_3d(full, star3d(1))
+        assert out.shape == (4, 8, 10)
+
+    def test_z_shift_orientation(self):
+        spec = star3d(1)
+        c = spec.planes[1][1, 1]  # dz=+1 center coefficient
+        full = np.zeros((4, 6, 6))
+        full[2] = 1.0  # plane z=2 (logical)
+        out = reference_stencil_3d(full, spec)
+        # output plane z=0 corresponds to logical plane 1; dz=+1 reads plane 2
+        assert np.allclose(out[0], c + spec.planes[0][1, 1] * 0.0)
+
+    def test_constant_field_3d(self):
+        spec = box3d(1)
+        full = np.full((6, 6, 6), 2.0)
+        out = reference_stencil_3d(full, spec)
+        total = sum(p.sum() for p in spec.planes.values())
+        assert np.allclose(out, 2.0 * total)
+
+    def test_dispatch(self):
+        assert apply_reference(np.zeros((10, 10)), star2d(1)).shape == (8, 8)
+        assert apply_reference(np.zeros((4, 6, 8)), star3d(1)).shape == (2, 4, 6)
+
+
+class TestIterate:
+    def test_zero_steps_is_identity(self):
+        full = np.random.default_rng(2).random((10, 10))
+        assert np.array_equal(iterate_reference(full, heat2d(), 0), full)
+
+    def test_one_step_matches_single_application(self):
+        spec = heat2d()
+        full = np.random.default_rng(3).random((10, 10))
+        once = iterate_reference(full, spec, 1)
+        assert np.allclose(once[1:-1, 1:-1], reference_stencil_2d(full, spec))
+        # halo unchanged
+        assert np.array_equal(once[0], full[0])
+
+    def test_heat_diffusion_smooths(self):
+        """Multi-step heat diffusion reduces the field's variance."""
+        spec = heat2d()
+        rng = np.random.default_rng(4)
+        full = rng.random((20, 20))
+        out = iterate_reference(full, spec, 10)
+        assert out[1:-1, 1:-1].var() < full[1:-1, 1:-1].var()
+
+    def test_3d_rejected(self):
+        with pytest.raises(ValueError):
+            iterate_reference(np.zeros((4, 6, 6)), star3d(1), 1)

@@ -1,0 +1,146 @@
+"""StencilSpec: validation, taps, decompositions, factories."""
+
+import numpy as np
+import pytest
+
+from repro.stencils.spec import StencilSpec, box2d, box3d, heat2d, star2d, star3d
+
+
+class TestValidation:
+    def test_pattern_checked(self):
+        with pytest.raises(ValueError):
+            StencilSpec("x", "diamond", 2, 1, {0: np.ones((3, 3))})
+
+    def test_ndim_checked(self):
+        with pytest.raises(ValueError):
+            StencilSpec("x", "box", 4, 1, {0: np.ones((3, 3))})
+
+    def test_radius_checked(self):
+        with pytest.raises(ValueError):
+            StencilSpec("x", "box", 2, 0, {0: np.ones((1, 1))})
+
+    def test_plane_shape_checked(self):
+        with pytest.raises(ValueError):
+            StencilSpec("x", "box", 2, 2, {0: np.ones((3, 3))})
+
+    def test_2d_single_plane_only(self):
+        with pytest.raises(ValueError):
+            StencilSpec("x", "box", 2, 1, {0: np.ones((3, 3)), 1: np.ones((3, 3))})
+
+    def test_star_rejects_offaxis_coefficients(self):
+        plane = np.zeros((3, 3))
+        plane[0, 0] = 1.0
+        with pytest.raises(ValueError):
+            StencilSpec("x", "star", 2, 1, {0: plane})
+
+    def test_star3d_offcenter_plane_center_only(self):
+        center = np.zeros((3, 3))
+        center[1, :] = 1.0
+        center[:, 1] = 1.0
+        bad = np.zeros((3, 3))
+        bad[1, 0] = 1.0
+        with pytest.raises(ValueError):
+            StencilSpec("x", "star", 3, 1, {0: center, 1: bad})
+
+    def test_plane_offset_within_radius(self):
+        plane = np.zeros((3, 3))
+        plane[1, 1] = 1.0
+        with pytest.raises(ValueError):
+            StencilSpec("x", "box", 3, 1, {0: plane, 2: plane})
+
+
+class TestTapEnumeration:
+    def test_star2d_point_counts(self):
+        for r in (1, 2, 3, 4):
+            assert star2d(r).num_points == 4 * r + 1
+
+    def test_box2d_point_counts(self):
+        for r in (1, 2, 3):
+            assert box2d(r).num_points == (2 * r + 1) ** 2
+
+    def test_star3d_point_counts(self):
+        for r in (1, 2):
+            assert star3d(r).num_points == 6 * r + 1
+
+    def test_box3d_point_counts(self):
+        assert box3d(1).num_points == 27
+
+    def test_taps_match_plane_values(self):
+        spec = box2d(1)
+        plane = spec.coeffs2d
+        for dz, di, dj, c in spec.taps():
+            assert dz == 0
+            assert plane[di + 1, dj + 1] == c
+
+    def test_flops_per_point(self):
+        assert star2d(1).flops_per_point == 10
+
+
+class TestDecompositions:
+    def test_column_matches_plane(self):
+        spec = box2d(2)
+        for s in range(-2, 3):
+            assert np.array_equal(spec.column(s), spec.coeffs2d[:, s + 2])
+
+    def test_column_shift_range_checked(self):
+        with pytest.raises(ValueError):
+            star2d(1).column(2)
+
+    def test_star_vertical_plus_horizontal_cover_all_taps(self):
+        """The hybrid split must lose no coefficient mass."""
+        spec = star2d(2)
+        v = spec.vertical_coeffs()
+        h = spec.horizontal_offaxis_coeffs()
+        total = v.sum() + h.sum()
+        assert total == pytest.approx(spec.coeffs2d.sum())
+
+    def test_horizontal_offaxis_zeroes_center(self):
+        spec = star2d(2)
+        assert spec.horizontal_offaxis_coeffs()[2] == 0.0
+        assert spec.horizontal_coeffs()[2] != 0.0
+
+    def test_star_nonzero_shifts(self):
+        spec = star2d(2)
+        assert spec.nonzero_shifts(0) == (-2, -1, 0, 1, 2)
+
+    def test_star3d_offcenter_shifts(self):
+        spec = star3d(1)
+        assert spec.nonzero_shifts(1) == (0,)
+        assert spec.plane_offsets() == (-1, 0, 1)
+
+    def test_scaled(self):
+        spec = star2d(1)
+        doubled = spec.scaled(2.0)
+        assert np.array_equal(doubled.coeffs2d, 2.0 * spec.coeffs2d)
+        assert doubled.name.endswith("-scaled")
+
+
+class TestFactories:
+    def test_default_coefficients_deterministic(self):
+        a = star2d(2)
+        b = star2d(2)
+        assert np.array_equal(a.coeffs2d, b.coeffs2d)
+
+    def test_default_coefficients_distinct(self):
+        """Distinct values catch transposed-coefficient kernel bugs."""
+        spec = box2d(1)
+        vals = spec.coeffs2d.ravel()
+        assert len(np.unique(vals)) == len(vals)
+
+    def test_custom_coefficients(self):
+        plane = np.zeros((3, 3))
+        plane[1, :] = 1.0
+        plane[:, 1] = 1.0
+        spec = star2d(1, coefficients=plane)
+        assert np.array_equal(spec.coeffs2d, plane)
+
+    def test_heat2d_is_conservative(self):
+        spec = heat2d()
+        assert spec.coeffs2d.sum() == pytest.approx(1.0)
+        assert spec.pattern == "star"
+
+    def test_names(self):
+        assert star2d(2).name == "star2d9p"
+        assert box2d(3).name == "box2d49p"
+        assert star3d(1).name == "star3d7p"
+        assert box3d(2).name == "box3d125p"
