@@ -5,16 +5,23 @@ prefetch prevents the degradation (avg 2.35x, 42% over no-prefetch) and
 beats STOP by up to 91%.  Workload: r=2 box, 1024^2 .. 8192^2.
 """
 
-from conftest import report, run_once
+from conftest import BENCH_JOBS, bench_artifact, report, run_once
 
 from repro.bench.report import format_speedup_table, geomean
 
 SIZES = [1024, 2048, 4096, 8192]
 STENCIL = "box2d25p"
 METHODS = ["vector-only", "matrix-only", "hstencil-noprefetch", "hstencil-prefetch"]
+BASELINE = "auto"
 
 
 def _collect(runner):
+    # All (method, size) cells are independent band-sampled simulations —
+    # the expensive sweep of this suite; fan them through the engine.
+    runner.measure_many(
+        [(m, STENCIL, (n, n)) for n in SIZES for m in METHODS + [BASELINE]],
+        jobs=BENCH_JOBS,
+    )
     return {
         f"{n} x {n}": runner.speedups(METHODS, STENCIL, (n, n)) for n in SIZES
     }
@@ -22,6 +29,7 @@ def _collect(runner):
 
 def test_fig15_out_of_cache(benchmark, lx2_runner):
     rows = run_once(benchmark, lambda: _collect(lx2_runner))
+    bench_artifact("fig15_outofcache", runner=lx2_runner, extra={"speedups": rows})
     report(
         "fig15_outofcache",
         format_speedup_table("Figure 15: out-of-cache speedups (r=2 box)", rows)

@@ -9,19 +9,38 @@ pytest's output capturing), and are also written to
 The session-scoped :class:`ExperimentRunner` fixtures share their
 measurement cache across benchmark files, so e.g. Figure 14's IPC table
 reuses Figure 12's simulations.
+
+Engine knobs (environment variables):
+
+``REPRO_BENCH_CACHE``
+    Directory for the content-addressed on-disk measurement cache.  Set it
+    to make repeated benchmark runs skip simulation entirely.
+``REPRO_BENCH_JOBS``
+    Worker processes for the migrated sweeps (default 1 = serial).
 """
 
 from __future__ import annotations
 
+import os
 import pathlib
-from typing import List, Tuple
+from typing import List, Mapping, Optional, Tuple
 
 import pytest
 
+from repro.bench.report import write_bench_json
 from repro.bench.runner import ExperimentRunner
 from repro.machine.config import LX2, M4
 
 _RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Engine configuration shared by every migrated benchmark.
+BENCH_CACHE_DIR = os.environ.get("REPRO_BENCH_CACHE") or None
+BENCH_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+
+
+def bench_artifact(name: str, runner=None, extra: Optional[Mapping] = None) -> pathlib.Path:
+    """Write the ``BENCH_<name>.json`` artifact into the results directory."""
+    return write_bench_json(_RESULTS_DIR, name, runner=runner, extra=extra)
 
 #: (name, rendered table) collected during the session.
 _TABLES: List[Tuple[str, str]] = []
@@ -49,12 +68,12 @@ def pytest_terminal_summary(terminalreporter, exitstatus, config):
 
 @pytest.fixture(scope="session")
 def lx2_runner() -> ExperimentRunner:
-    return ExperimentRunner(LX2())
+    return ExperimentRunner(LX2(), cache_dir=BENCH_CACHE_DIR)
 
 
 @pytest.fixture(scope="session")
 def m4_runner() -> ExperimentRunner:
-    return ExperimentRunner(M4())
+    return ExperimentRunner(M4(), cache_dir=BENCH_CACHE_DIR)
 
 
 def run_once(benchmark, fn):

@@ -1,27 +1,44 @@
-"""Benchmark harness: experiment runners and paper-style reporting.
+"""Benchmark harness: experiment runners, caching, parallel sweeps, reports.
 
 The modules here are what the ``benchmarks/`` suite builds on:
 
 * :mod:`repro.bench.runner` — measure (method x stencil x size) cells with
-  shared machine/engine setup and per-cell caching;
+  shared machine/engine setup, per-cell memoization and an optional
+  content-addressed disk cache;
+* :mod:`repro.bench.cache` — the on-disk measurement cache and its
+  invalidation key (machine config + options + plan + code version);
+* :mod:`repro.bench.parallel` — fan independent cells out across worker
+  processes with deterministic ordering and per-cell failure capture;
 * :mod:`repro.bench.report` — render rows/series the way the paper's
-  tables and figures present them (speedups normalized to auto, IPC
-  tables, cache-metric tables, scaling curves).
+  tables and figures present them, and emit structured ``BENCH_*.json``
+  artifacts (counters, machine fingerprint, cache provenance).
 """
 
+from repro.bench.cache import MeasurementCache, cache_key, code_version, machine_fingerprint
+from repro.bench.parallel import CellResult, run_cells
 from repro.bench.runner import ExperimentRunner, Measurement
 from repro.bench.report import (
+    bench_json_payload,
     format_speedup_table,
     format_metric_table,
     format_scaling_series,
     geomean,
+    write_bench_json,
 )
 
 __all__ = [
+    "CellResult",
     "ExperimentRunner",
     "Measurement",
+    "MeasurementCache",
+    "bench_json_payload",
+    "cache_key",
+    "code_version",
     "format_speedup_table",
     "format_metric_table",
     "format_scaling_series",
     "geomean",
+    "machine_fingerprint",
+    "run_cells",
+    "write_bench_json",
 ]

@@ -1,0 +1,174 @@
+"""Content-addressed on-disk cache for simulated measurements.
+
+A measurement is fully determined by its inputs: the machine configuration,
+the kernel method, the stencil, the grid shape, the kernel tuning options,
+the sampling plan, and the simulator code itself.  :func:`cache_key` hashes
+a canonical JSON rendering of all of those into one hex digest;
+:class:`MeasurementCache` stores one JSON file per digest under
+``<root>/<digest[:2]>/<digest>.json`` holding the serialized
+:class:`~repro.machine.perf.PerfCounters` next to the key inputs (so a
+cache entry is self-describing and auditable).
+
+Invalidation is automatic: any change to a key input — including the
+simulator sources, via :func:`code_version` — changes the digest, so stale
+entries are simply never looked up again.  Entries are written atomically
+(temp file + ``os.replace``), which makes the cache safe for concurrent
+writers such as the parallel sweep executor.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+from functools import lru_cache
+from pathlib import Path
+from typing import Dict, Optional, Tuple
+
+from repro.kernels.base import KernelOptions
+from repro.machine.config import MachineConfig
+from repro.machine.perf import PerfCounters
+from repro.machine.timing import SamplePlan
+
+#: Bump to invalidate every cache entry regardless of source hashing.
+SCHEMA_VERSION = 1
+
+#: Subpackages whose sources determine simulation results.  ``bench`` and
+#: ``cli`` are deliberately excluded: harness changes must not invalidate
+#: measurements.
+_SIMULATION_PACKAGES = ("isa", "machine", "kernels", "stencils", "core")
+
+
+@lru_cache(maxsize=1)
+def code_version() -> str:
+    """Digest of every simulation-relevant source file in the package."""
+    import repro
+
+    root = Path(repro.__file__).parent
+    digest = hashlib.sha256()
+    for package in _SIMULATION_PACKAGES:
+        for path in sorted((root / package).rglob("*.py")):
+            digest.update(str(path.relative_to(root)).encode())
+            digest.update(path.read_bytes())
+    return digest.hexdigest()[:16]
+
+
+def machine_fingerprint(config: MachineConfig) -> Dict:
+    """Canonical JSON-safe rendering of a machine configuration."""
+    return {
+        "name": config.name,
+        "ports": {port.name: count for port, count in sorted(
+            config.ports.items(), key=lambda kv: kv[0].name)},
+        "issue_width": config.issue_width,
+        "latencies": {
+            mnemonic: [spec.latency, spec.initiation_interval]
+            for mnemonic, spec in sorted(config.latencies.items())
+        },
+        "has_vector_fmla": config.has_vector_fmla,
+        "has_matrix_mla": config.has_matrix_mla,
+        "supports_inplace_accumulation": config.supports_inplace_accumulation,
+        "l1": dataclasses.asdict(config.l1),
+        "l2": dataclasses.asdict(config.l2),
+        "l1_load_latency": config.l1_load_latency,
+        "l2_load_latency": config.l2_load_latency,
+        "mem_load_latency": config.mem_load_latency,
+        "hw_prefetch_streams": config.hw_prefetch_streams,
+        "hw_prefetch_depth": config.hw_prefetch_depth,
+        "hw_prefetch_enabled": config.hw_prefetch_enabled,
+        "mem_bandwidth_bytes_per_cycle": config.mem_bandwidth_bytes_per_cycle,
+        "clock_ghz": config.clock_ghz,
+    }
+
+
+def machine_digest(config: MachineConfig) -> str:
+    """Short stable digest of a machine configuration."""
+    blob = json.dumps(machine_fingerprint(config), sort_keys=True)
+    return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+
+def cache_key(
+    machine: MachineConfig,
+    method: str,
+    stencil: str,
+    shape: Tuple[int, ...],
+    options: KernelOptions,
+    plan: Optional[SamplePlan],
+    warm: bool,
+) -> Tuple[str, Dict]:
+    """Digest + canonical inputs for one ``(machine, cell)`` measurement."""
+    inputs = {
+        "schema": SCHEMA_VERSION,
+        "code_version": code_version(),
+        "machine": machine_fingerprint(machine),
+        "method": method,
+        "stencil": stencil,
+        "shape": list(shape),
+        "options": dataclasses.asdict(options),
+        "plan": dataclasses.asdict(plan) if plan is not None else None,
+        "warm": warm,
+    }
+    blob = json.dumps(inputs, sort_keys=True)
+    return hashlib.sha256(blob.encode()).hexdigest(), inputs
+
+
+class MeasurementCache:
+    """Disk-backed store of :class:`PerfCounters` keyed by :func:`cache_key`.
+
+    Tracks ``hits`` / ``misses`` / ``stores`` so callers can prove cache
+    effectiveness (the JSON benchmark artifacts embed these).
+    """
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def load(self, key: str) -> Optional[PerfCounters]:
+        """Return the cached counters for ``key``, or None on miss."""
+        path = self.path_for(key)
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        try:
+            counters = PerfCounters.from_dict(data["counters"])
+        except (KeyError, ValueError):
+            # Corrupt or incompatible entry: treat as a miss; it will be
+            # overwritten by the fresh measurement.
+            self.misses += 1
+            return None
+        self.hits += 1
+        return counters
+
+    def store(self, key: str, counters: PerfCounters, inputs: Optional[Dict] = None) -> None:
+        """Persist counters atomically (safe under concurrent writers)."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {"key": key, "inputs": inputs, "counters": counters.to_dict()}
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(payload, handle, indent=1, sort_keys=True)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stores += 1
+
+    def stats(self) -> Dict:
+        return {
+            "root": str(self.root),
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+        }

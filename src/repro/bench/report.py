@@ -1,9 +1,22 @@
-"""Paper-style rendering of benchmark results."""
+"""Paper-style rendering of benchmark results, plus JSON artifacts.
+
+The text formatters render the tables/figures the way the paper presents
+them.  :func:`write_bench_json` additionally emits one structured
+``BENCH_<experiment>.json`` artifact per benchmark run — raw counters,
+derived metrics, a machine fingerprint, and cache hit/miss provenance —
+so the performance trajectory of the repository is machine-readable.
+"""
 
 from __future__ import annotations
 
+import json
 import math
-from typing import Iterable, List, Mapping, Sequence, Tuple
+import pathlib
+import time
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+#: Version of the ``BENCH_*.json`` artifact layout.
+BENCH_JSON_SCHEMA = 1
 
 
 def geomean(values: Iterable[float]) -> float:
@@ -82,3 +95,51 @@ def format_scaling_series(
         )
         lines.append(line)
     return "\n".join(lines)
+
+
+# -- JSON artifacts ----------------------------------------------------------
+
+
+def bench_json_payload(
+    experiment: str,
+    runner=None,
+    extra: Optional[Mapping] = None,
+) -> Dict:
+    """Assemble the ``BENCH_*.json`` payload for one experiment.
+
+    ``runner`` (an :class:`~repro.bench.runner.ExperimentRunner`) supplies
+    the machine fingerprint, the per-cell counter records and the cache
+    provenance; ``extra`` is merged in verbatim for experiment-specific data
+    (e.g. scaling points or speedup tables).
+    """
+    from repro.bench.cache import code_version, machine_digest, machine_fingerprint
+
+    payload: Dict = {
+        "schema": BENCH_JSON_SCHEMA,
+        "experiment": experiment,
+        "generated_unix": time.time(),
+        "code_version": code_version(),
+    }
+    if runner is not None:
+        payload["machine"] = machine_fingerprint(runner.machine)
+        payload["machine_digest"] = machine_digest(runner.machine)
+        payload["cells"] = runner.records()
+        payload["cache"] = runner.cache_stats()
+    if extra:
+        payload.update(dict(extra))
+    return payload
+
+
+def write_bench_json(
+    directory,
+    experiment: str,
+    runner=None,
+    extra: Optional[Mapping] = None,
+) -> pathlib.Path:
+    """Write ``BENCH_<experiment>.json`` into ``directory``; return the path."""
+    directory = pathlib.Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"BENCH_{experiment}.json"
+    payload = bench_json_payload(experiment, runner=runner, extra=extra)
+    path.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+    return path

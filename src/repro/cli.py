@@ -28,11 +28,14 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import json
+import pathlib
 import sys
 from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro.bench.report import bench_json_payload, write_bench_json
 from repro.bench.runner import ExperimentRunner
 from repro.core.hstencil import HStencil
 from repro.kernels.base import KernelOptions
@@ -69,6 +72,34 @@ def _options(args) -> KernelOptions:
     return opts
 
 
+def _runner(args) -> ExperimentRunner:
+    cache_dir = getattr(args, "cache_dir", None)
+    if cache_dir is not None:
+        path = pathlib.Path(cache_dir)
+        if path.exists() and not path.is_dir():
+            raise SystemExit(f"--cache-dir {cache_dir!r} exists and is not a directory")
+    return ExperimentRunner(
+        _machine(args.machine),
+        _options(args),
+        cache_dir=cache_dir,
+    )
+
+
+def _write_json(args, experiment: str, runner, extra=None) -> None:
+    """Emit the BENCH_*.json artifact when ``--json`` was given."""
+    if not getattr(args, "json", None):
+        return
+    target = pathlib.Path(args.json)
+    if target.suffix == ".json":
+        payload = bench_json_payload(experiment, runner=runner, extra=extra)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+        path = target
+    else:
+        path = write_bench_json(target, experiment, runner=runner, extra=extra)
+    print(f"wrote {path}")
+
+
 def cmd_methods(_args) -> int:
     print("methods:")
     for name in METHODS:
@@ -84,41 +115,65 @@ def cmd_methods(_args) -> int:
 def cmd_bench(args) -> int:
     spec = benchmark(args.stencil)
     shape = _shape(args.size, spec.ndim)
-    runner = ExperimentRunner(_machine(args.machine), _options(args))
+    runner = _runner(args)
     pc = runner.measure(args.method, args.stencil, shape).counters
+    line_bytes = runner.machine.l1.line_bytes
     print(pc.summary())
     print(
         f"  IPC {pc.ipc:.2f} | {pc.cycles_per_point:.3f} cyc/pt | "
         f"L1 demand {pc.l1_demand_hit_rate * 100:.1f}% | "
-        f"DRAM {pc.dram_bytes() / max(pc.points, 1):.1f} B/pt | "
+        f"DRAM {pc.dram_bytes(line_bytes) / max(pc.points, 1):.1f} B/pt | "
         f"{pc.gstencil_per_s(runner.machine.clock_ghz):.2f} GStencil/s"
     )
+    _write_json(args, "bench", runner)
     return 0
 
 
 def cmd_compare(args) -> int:
     spec = benchmark(args.stencil)
     shape = _shape(args.size, spec.ndim)
-    runner = ExperimentRunner(_machine(args.machine), _options(args))
+    runner = _runner(args)
     methods = args.methods.split(",") if args.methods else [
         "auto",
         "vector-only",
         "matrix-only",
         "hstencil",
     ]
+    sweep_methods = list(dict.fromkeys(methods + [args.baseline]))
+    results = {
+        r.method: r
+        for r in runner.measure_many(
+            [(m, args.stencil, shape) for m in sweep_methods],
+            jobs=args.jobs,
+            progress=args.jobs > 1,
+        )
+    }
+    base_result = results[args.baseline]
+    if not base_result.ok:
+        raise SystemExit(
+            f"baseline method {args.baseline!r} failed on "
+            f"{args.stencil} {args.size}: {base_result.error}"
+        )
     base = runner.measure(args.baseline, args.stencil, shape)
     print(f"{args.stencil} {args.size} on {args.machine.upper()}, vs {args.baseline}:")
+    speedups = {}
     for method in methods:
-        try:
-            cell = runner.measure(method, args.stencil, shape)
-        except (ValueError, KeyError) as exc:
-            print(f"  {method:20s} skipped ({exc})")
+        if not results[method].ok:
+            print(f"  {method:20s} skipped ({results[method].error})")
             continue
+        cell = runner.measure(method, args.stencil, shape)
+        speedups[method] = cell.speedup_over(base)
         print(
             f"  {method:20s} {cell.speedup_over(base):5.2f}x  "
             f"(IPC {cell.counters.ipc:4.2f}, "
             f"{cell.counters.cycles_per_point:5.2f} cyc/pt)"
         )
+    _write_json(
+        args,
+        "compare",
+        runner,
+        extra={"baseline": args.baseline, "speedups": speedups},
+    )
     return 0
 
 
@@ -168,19 +223,57 @@ def cmd_scaling(args) -> int:
     n = int(args.size)
     machine = _machine(args.machine)
     cores = [int(c) for c in args.cores.split(",")]
+    for c in cores:
+        if n // c <= 0:
+            raise SystemExit(f"{c} cores leave no rows per core at size {n}")
 
-    def factory(rows: int):
-        mem = MemorySpace()
-        src = Grid2D(mem, rows, n, spec.radius, "A")
-        dst = Grid2D(mem, rows, n, spec.radius, "B")
-        return make_kernel(args.method, spec, src, dst, machine, _options(args))
+    # Distinct slice heights (plus the 1-core serial reference) measured
+    # through the experiment engine: cached, and parallel under --jobs.
+    runner = _runner(args)
+    heights = sorted({n // c for c in cores} | {n})
+    results = runner.measure_many(
+        [(args.method, args.stencil, (rows, n)) for rows in heights],
+        jobs=args.jobs,
+        progress=args.jobs > 1,
+    )
+    failed = [r for r in results if not r.ok]
+    if failed:
+        raise SystemExit(
+            "scaling slices failed: "
+            + "; ".join(f"{r.shape[0]} rows: {r.error}" for r in failed)
+        )
+    slices = {r.shape[0]: r.counters for r in results}
 
     mc = MulticoreModel(machine)
-    points = mc.strong_scaling(factory, n, cores)
+    points = mc.series_from_slices(slices, n, cores)
     print(f"{args.method} on {args.stencil} {n}x{n} ({machine.name}):")
     for p in points:
         note = " (bandwidth-bound)" if p.bandwidth_bound else ""
-        print(f"  {p.cores:3d} cores: {p.gstencil_per_s:7.2f} GStencil/s{note}")
+        if p.remainder_rows:
+            note += f" ({p.remainder_rows} remainder rows unassigned)"
+        print(
+            f"  {p.cores:3d} cores: {p.gstencil_per_s:7.2f} GStencil/s  "
+            f"{p.speedup_vs_serial:6.2f}x vs serial{note}"
+        )
+    _write_json(
+        args,
+        "scaling",
+        runner,
+        extra={
+            "scaling": [
+                {
+                    "cores": p.cores,
+                    "cycles": p.cycles,
+                    "points": p.points,
+                    "gstencil_per_s": p.gstencil_per_s,
+                    "speedup_vs_serial": p.speedup_vs_serial,
+                    "bandwidth_bound": p.bandwidth_bound,
+                    "remainder_rows": p.remainder_rows,
+                }
+                for p in points
+            ]
+        },
+    )
     return 0
 
 
@@ -198,12 +291,33 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--machine", default="lx2", help="lx2 or m4")
         p.add_argument("--unroll", type=int, default=None, help="tile unroll factor")
 
+    def engine(p):
+        p.add_argument(
+            "--cache-dir",
+            default=None,
+            help="content-addressed measurement cache directory (reused across runs)",
+        )
+        p.add_argument(
+            "--jobs",
+            type=int,
+            default=1,
+            help="worker processes for independent cells (1 = serial)",
+        )
+        p.add_argument(
+            "--json",
+            default=None,
+            metavar="PATH",
+            help="write a BENCH_*.json artifact (file, or directory for the default name)",
+        )
+
     p = sub.add_parser("bench", help="time one method")
     common(p)
+    engine(p)
     p.add_argument("--method", default="hstencil")
 
     p = sub.add_parser("compare", help="compare methods vs a baseline")
     common(p)
+    engine(p)
     p.add_argument("--methods", default=None, help="comma-separated method list")
     p.add_argument("--baseline", default="auto")
 
@@ -219,6 +333,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("scaling", help="strong-scaling sweep (Figure 16)")
     common(p, default_size="1024")
+    engine(p)
     p.add_argument("--method", default="hstencil-prefetch")
     p.add_argument("--cores", default="1,2,4,8")
 

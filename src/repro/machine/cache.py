@@ -15,6 +15,11 @@ Statistics follow the paper's ``perf``-based methodology:
 * hardware-prefetch fills are tracked separately and do not inflate demand
   statistics;
 * DRAM line reads/writes are tracked for the multicore bandwidth model.
+  Writeback traffic counts *every* dirty line that leaves L2, whichever
+  path evicted it: a demand/prefetch fill of L2, or the L2 install
+  performed on behalf of a dirty L1 eviction (the L1 -> L2 -> DRAM chain).
+  The latter path was historically dropped, undercounting DRAM writes and
+  weakening the Figure 16 bandwidth-contention bound.
 """
 
 from __future__ import annotations
@@ -233,8 +238,11 @@ class CacheHierarchy:
         if victim is not None:
             # Dirty L1 eviction: write back into L2.
             if not self.l2.lookup(victim, update_lru=False):
-                self.l2.install(victim, dirty=True)
-                # L2 install may itself evict a dirty line; handled inside.
+                l2_victim = self.l2.install(victim, dirty=True)
+                if l2_victim is not None:
+                    # The install displaced a dirty L2 line: that line goes
+                    # all the way to DRAM (the L1 -> L2 -> DRAM chain).
+                    self.mem_lines_written += 1
             else:
                 self.l2.mark_dirty(victim)
 

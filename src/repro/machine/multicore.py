@@ -20,7 +20,7 @@ higher scaling ceiling, which is exactly the separation Figure 16 shows.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
 
 from repro.isa.program import Kernel
 from repro.machine.config import MachineConfig
@@ -39,15 +39,33 @@ class ScalingPoint:
     bandwidth_bound: bool
     dram_bytes_per_core: float
     single_core_cycles: float
+    #: Cycles/points of the true ``cores == 1`` (full-grid) measurement.
+    #: Filled in by :meth:`MulticoreModel.strong_scaling` /
+    #: :meth:`MulticoreModel.series_from_slices`; zero for a bare
+    #: :meth:`MulticoreModel.scaling_point` call.
+    serial_cycles: float = 0.0
+    serial_points: int = 0
+    #: ``total_rows % cores`` rows that the equal-slice partition leaves
+    #: unassigned (no core computes them).
+    remainder_rows: int = 0
 
     @property
     def speedup_vs_serial(self) -> float:
-        """Throughput relative to the 1-core point of the same sweep.
+        """Throughput relative to the true 1-core point of the sweep.
 
-        Filled in by :meth:`MulticoreModel.strong_scaling`; before that it
-        is computed against ``single_core_cycles`` for the same slice size.
+        With the serial reference filled in, this is the strong-scaling
+        speedup the paper plots: per-point throughput of this point over
+        per-point throughput of the full grid on one core.  Without it
+        (a bare :meth:`MulticoreModel.scaling_point`), it falls back to the
+        same-slice ratio, which only deviates from 1.0 when the point is
+        bandwidth-bound.
         """
-        return self.single_core_cycles / self.cycles if self.cycles else 0.0
+        if not self.cycles:
+            return 0.0
+        if self.serial_cycles and self.serial_points and self.points:
+            serial_throughput = self.serial_points / self.serial_cycles
+            return (self.points / self.cycles) / serial_throughput
+        return self.single_core_cycles / self.cycles
 
 
 class MulticoreModel:
@@ -91,6 +109,40 @@ class MulticoreModel:
             single_core_cycles=compute_cycles,
         )
 
+    def series_from_slices(
+        self,
+        slices: Mapping[int, PerfCounters],
+        total_rows: int,
+        core_counts: Sequence[int],
+    ) -> List[ScalingPoint]:
+        """Build the scaling curve from pre-measured per-slice counters.
+
+        ``slices`` maps slice height (interior rows) to that slice's
+        counters; it must contain ``total_rows // P`` for every ``P`` in
+        ``core_counts`` *and* ``total_rows`` itself (the serial reference
+        every point's :attr:`ScalingPoint.speedup_vs_serial` is rebased
+        against).  ``total_rows % P`` remainder rows are not assigned to any
+        core; the dropped count is surfaced on each point.
+        """
+        if total_rows not in slices:
+            raise ValueError(
+                f"slices must include the serial reference height {total_rows}"
+            )
+        serial = slices[total_rows]
+        out: List[ScalingPoint] = []
+        for cores in core_counts:
+            rows = total_rows // cores
+            if rows <= 0:
+                raise ValueError(f"{cores} cores leave no rows per core")
+            if rows not in slices:
+                raise ValueError(f"missing slice measurement for {rows} rows")
+            point = self.scaling_point(cores, slices[rows])
+            point.serial_cycles = serial.cycles
+            point.serial_points = serial.points
+            point.remainder_rows = total_rows % cores
+            out.append(point)
+        return out
+
     def strong_scaling(
         self,
         kernel_for_rows: Callable[[int], Kernel],
@@ -102,15 +154,21 @@ class MulticoreModel:
 
         ``kernel_for_rows(rows)`` must build the per-slice kernel (same
         method, same row width, ``rows`` interior rows).  Slices of equal
-        height are simulated once per distinct height.
+        height are simulated once per distinct height.  The ``cores == 1``
+        (full-grid) slice is always simulated — even when 1 is not in
+        ``core_counts`` — so every point's
+        :attr:`ScalingPoint.speedup_vs_serial` is rebased against the true
+        serial measurement rather than its own slice.
         """
-        cache: dict = {}
-        out: List[ScalingPoint] = []
+        heights = set()
         for cores in core_counts:
             rows = total_rows // cores
             if rows <= 0:
                 raise ValueError(f"{cores} cores leave no rows per core")
-            if rows not in cache:
-                cache[rows] = self.run_slice(kernel_for_rows(rows), plan=plan)
-            out.append(self.scaling_point(cores, cache[rows]))
-        return out
+            heights.add(rows)
+        heights.add(total_rows)  # serial reference
+        slices: Dict[int, PerfCounters] = {
+            rows: self.run_slice(kernel_for_rows(rows), plan=plan)
+            for rows in sorted(heights)
+        }
+        return self.series_from_slices(slices, total_rows, core_counts)

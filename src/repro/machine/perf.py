@@ -9,7 +9,7 @@ per-port instruction mix, DRAM traffic).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.isa.instructions import PortClass
 
@@ -50,6 +50,11 @@ class PerfCounters:
     #: True when cycles/points were extrapolated from a sampled band.
     sampled: bool = False
 
+    #: Cache-line size the DRAM line counters were collected at.  Set by the
+    #: timing engine from the machine configuration; 64 only as a fallback
+    #: for hand-built counters.
+    line_bytes: int = 64
+
     # -- derived -------------------------------------------------------------
 
     @property
@@ -89,7 +94,14 @@ class PerfCounters:
         seconds = self.cycles / (clock_ghz * 1e9)
         return self.points / seconds / 1e9
 
-    def dram_bytes(self, line_bytes: int = 64) -> int:
+    def dram_bytes(self, line_bytes: Optional[int] = None) -> int:
+        """Total DRAM traffic (reads + writebacks) in bytes.
+
+        ``line_bytes`` defaults to the line size the counters were collected
+        at (``self.line_bytes``); pass a value only to override it.
+        """
+        if line_bytes is None:
+            line_bytes = self.line_bytes
         return (self.dram_lines_read + self.dram_lines_written) * line_bytes
 
     # -- combination -----------------------------------------------------------
@@ -100,7 +112,7 @@ class PerfCounters:
         Used to extrapolate a sampled band to the full grid.  Counter values
         stay floats for cycles and are rounded for integral counters.
         """
-        out = PerfCounters(label=self.label, sampled=True)
+        out = PerfCounters(label=self.label, sampled=True, line_bytes=self.line_bytes)
         out.cycles = self.cycles * factor
         out.instructions = round(self.instructions * factor)
         out.instructions_by_port = {
@@ -143,6 +155,49 @@ class PerfCounters:
         self.sw_prefetches += other.sw_prefetches
         self.hw_prefetches += other.hw_prefetches
         self.sampled = self.sampled or other.sampled
+
+    # -- serialization ---------------------------------------------------------
+
+    def to_dict(self) -> Dict:
+        """JSON-safe dict (``instructions_by_port`` keyed by port name)."""
+        return {
+            "label": self.label,
+            "cycles": self.cycles,
+            "instructions": self.instructions,
+            "instructions_by_port": {
+                port.name: count for port, count in self.instructions_by_port.items()
+            },
+            "flops": self.flops,
+            "useful_flops": self.useful_flops,
+            "points": self.points,
+            "l1_accesses": self.l1_accesses,
+            "l1_hits": self.l1_hits,
+            "l1_demand_accesses": self.l1_demand_accesses,
+            "l1_demand_hits": self.l1_demand_hits,
+            "l1_prefetch_fills": self.l1_prefetch_fills,
+            "l2_accesses": self.l2_accesses,
+            "l2_hits": self.l2_hits,
+            "dram_lines_read": self.dram_lines_read,
+            "dram_lines_written": self.dram_lines_written,
+            "sw_prefetches": self.sw_prefetches,
+            "hw_prefetches": self.hw_prefetches,
+            "sampled": self.sampled,
+            "line_bytes": self.line_bytes,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "PerfCounters":
+        """Inverse of :meth:`to_dict` (unknown keys are rejected)."""
+        out = cls()
+        ports = data.get("instructions_by_port", {})
+        for key, value in data.items():
+            if key == "instructions_by_port":
+                continue
+            if not hasattr(out, key):
+                raise ValueError(f"unknown PerfCounters field {key!r}")
+            setattr(out, key, value)
+        out.instructions_by_port = {PortClass[name]: count for name, count in ports.items()}
+        return out
 
     def summary(self) -> str:
         """One-line human-readable digest."""

@@ -185,6 +185,7 @@ class PipelineModel:
         pc.dram_lines_written = h.mem_lines_written
         pc.sw_prefetches = self.sw_prefetches
         pc.hw_prefetches = self.prefetcher.prefetches_issued
+        pc.line_bytes = self.config.l1.line_bytes
         return pc
 
     @staticmethod
@@ -210,4 +211,5 @@ class PipelineModel:
         out.dram_lines_written = after.dram_lines_written - before.dram_lines_written
         out.sw_prefetches = after.sw_prefetches - before.sw_prefetches
         out.hw_prefetches = after.hw_prefetches - before.hw_prefetches
+        out.line_bytes = after.line_bytes
         return out

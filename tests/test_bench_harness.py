@@ -31,11 +31,23 @@ class TestRunner:
         assert "auto" in cells
         assert "mat-ortho" not in cells  # star-only method
 
+    def test_sweep_reports_skip_reasons(self):
+        runner = ExperimentRunner(LX2())
+        skipped = {}
+        runner.sweep(["auto", "mat-ortho"], "box2d9p", (32, 32), skipped=skipped)
+        assert list(skipped) == ["mat-ortho"]
+        assert "star" in skipped["mat-ortho"]
+
     def test_speedups_normalized(self):
         runner = ExperimentRunner(LX2())
         sp = runner.speedups(["auto", "hstencil"], "box2d9p", (64, 64))
         assert sp["auto"] == pytest.approx(1.0)
         assert sp["hstencil"] > 1.0
+
+    def test_speedups_missing_baseline_is_descriptive(self):
+        runner = ExperimentRunner(LX2())
+        with pytest.raises(ValueError, match="baseline method 'mat-ortho'.*box2d9p"):
+            runner.speedups(["auto"], "box2d9p", (32, 32), baseline="mat-ortho")
 
     def test_3d_shapes(self):
         runner = ExperimentRunner(LX2())

@@ -1,0 +1,79 @@
+"""Parallel sweep executor: determinism, failure capture, cache sharing."""
+
+import pytest
+
+from repro.bench.parallel import run_cells
+from repro.bench.runner import ExperimentRunner
+from repro.machine.config import LX2
+
+CELLS = [
+    (method, stencil, (32, 32))
+    for method in ("auto", "vector-only", "matrix-only", "hstencil")
+    for stencil in ("star2d5p", "box2d9p")
+]
+
+
+def test_serial_executor_matches_direct_measure():
+    runner = ExperimentRunner(LX2())
+    direct = runner.measure("auto", "star2d5p", (32, 32))
+    results = run_cells([("auto", "star2d5p", (32, 32))], machine=LX2())
+    assert results[0].ok
+    assert results[0].counters.to_dict() == direct.counters.to_dict()
+
+
+def test_parallel_determinism_vs_serial():
+    serial = run_cells(CELLS, machine=LX2(), jobs=1)
+    parallel = run_cells(CELLS, machine=LX2(), jobs=4)
+    assert len(serial) == len(parallel) == len(CELLS)
+    for s, p in zip(serial, parallel):
+        assert s.index == p.index
+        assert (s.method, s.stencil, s.shape) == (p.method, p.stencil, p.shape)
+        assert s.ok and p.ok
+        assert s.counters.to_dict() == p.counters.to_dict()
+
+
+@pytest.mark.parametrize("jobs", [1, 3])
+def test_failed_cell_captured_not_fatal(jobs):
+    cells = [
+        ("auto", "star2d5p", (32, 32)),
+        ("mat-ortho", "box2d9p", (32, 32)),  # star-only method: ValueError
+        ("auto", "no-such-stencil", (32, 32)),  # KeyError from the library
+        ("hstencil", "star2d5p", (32, 32)),
+    ]
+    results = run_cells(cells, machine=LX2(), jobs=jobs)
+    assert [r.ok for r in results] == [True, False, False, True]
+    assert "mat-ortho" in results[1].error
+    assert results[1].counters is None
+    assert results[2].error  # sweep survived both failures
+    assert results[3].counters.points == 32 * 32
+
+
+def test_results_adopted_into_runner():
+    runner = ExperimentRunner(LX2())
+    run_cells(CELLS[:3], machine=LX2(), jobs=2, runner=runner)
+    # Adopted cells are served from memory: no new simulation happens.
+    m = runner.measure(*CELLS[0])
+    assert m.counters.points == 32 * 32
+    assert len(runner.records()) == 3
+
+
+def test_parallel_workers_share_disk_cache(tmp_path):
+    first = run_cells(CELLS, machine=LX2(), cache_dir=tmp_path, jobs=4)
+    assert all(r.ok for r in first)
+    second = run_cells(CELLS, machine=LX2(), cache_dir=tmp_path, jobs=4)
+    assert all(r.source == "disk" for r in second)
+    for a, b in zip(first, second):
+        assert a.counters.to_dict() == b.counters.to_dict()
+
+
+def test_runner_measure_many_serial_uses_own_caches(tmp_path):
+    runner = ExperimentRunner(LX2(), cache_dir=tmp_path)
+    first = runner.measure_many(CELLS[:2])
+    assert [r.source for r in first] == ["simulated", "simulated"]
+    again = runner.measure_many(CELLS[:2])
+    assert all(r.ok for r in again)
+    # Served from the runner's in-memory memo: the disk cache saw no
+    # further traffic.
+    assert runner.disk_cache.stats()["stores"] == 2
+    assert runner.disk_cache.stats()["misses"] == 2
+    assert runner.disk_cache.stats()["hits"] == 0

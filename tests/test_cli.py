@@ -67,6 +67,53 @@ def test_scaling(capsys):
     assert code == 0
     out = capsys.readouterr().out
     assert "GStencil/s" in out
+    assert "vs serial" in out
+
+
+def test_scaling_reports_remainder_rows(capsys):
+    code = main(
+        ["scaling", "--stencil", "box2d9p", "--size", "96", "--cores", "1,11",
+         "--method", "vector-only"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "8 remainder rows unassigned" in out  # 96 % 11
+
+
+def test_bench_cache_dir_and_json(tmp_path, capsys):
+    import json
+
+    argv = [
+        "bench", "--stencil", "star2d5p", "--size", "32x32",
+        "--cache-dir", str(tmp_path / "cache"),
+        "--json", str(tmp_path / "art.json"),
+    ]
+    assert main(argv) == 0
+    cold = json.loads((tmp_path / "art.json").read_text())
+    assert cold["cache"]["simulated"] == 1
+    assert cold["cells"][0]["source"] == "simulated"
+    assert cold["machine"]["name"] == "LX2"
+    capsys.readouterr()
+
+    assert main(argv) == 0  # second run: disk hit, zero simulations
+    warm = json.loads((tmp_path / "art.json").read_text())
+    assert warm["cache"]["simulated"] == 0
+    assert warm["cache"]["disk_hits"] == 1
+    assert warm["cells"][0]["counters"] == cold["cells"][0]["counters"]
+
+
+def test_compare_json_artifact_in_directory(tmp_path, capsys):
+    import json
+
+    code = main(
+        ["compare", "--stencil", "box2d9p", "--size", "64x64",
+         "--methods", "auto,hstencil", "--json", str(tmp_path)]
+    )
+    assert code == 0
+    payload = json.loads((tmp_path / "BENCH_compare.json").read_text())
+    assert payload["experiment"] == "compare"
+    assert payload["speedups"]["hstencil"] > 1.0
+    assert {c["method"] for c in payload["cells"]} == {"auto", "hstencil"}
 
 
 def test_square_size_shorthand(capsys):

@@ -1,5 +1,7 @@
 """Cache hierarchy: lookup/install, LRU, write-back, statistics."""
 
+import dataclasses
+
 import pytest
 
 from repro.machine.cache import CacheHierarchy, CacheLevel, CacheStats, L1, L2, MEM
@@ -147,6 +149,39 @@ class TestHierarchy:
         h = self.make()
         h.demand_access(1000, 8, write=False)
         assert h.dram_bytes() == 64
+
+    def test_l1_writeback_chain_counts_dram_write(self):
+        """Regression: a dirty L2 line displaced by an L1 writeback install
+        must count as DRAM write traffic (the L1 -> L2 -> DRAM chain).
+
+        Tiny single-set 2-way L1 and L2; dirty-writing four distinct
+        same-set lines drives exactly one writeback through the previously
+        uncounted path: D's fill evicts dirty B from L1, B is no longer in
+        L2, and installing B displaces dirty A from L2 to DRAM.
+        """
+        tiny = CacheGeometry(128, 64, 2)  # 1 set, 2 ways
+        config = dataclasses.replace(LX2(), l1=tiny, l2=tiny)
+        h = CacheHierarchy(config)
+        for line in range(4):  # word addresses of lines A, B, C, D
+            h.demand_access(line * 8, 1, write=True)
+        assert h.mem_lines_written == 1
+        # Both DRAM directions appear in the byte total.
+        assert h.dram_bytes() == (h.mem_lines_read + 1) * 64
+
+    def test_dirty_l1_eviction_into_clean_l2_marks_dirty(self):
+        """The mark-dirty path (victim still in L2) defers the DRAM write
+        until the line actually leaves L2."""
+        l1 = CacheGeometry(64, 64, 1)  # 1 set, 1 way
+        l2 = CacheGeometry(256, 64, 4)  # 1 set, 4 ways
+        config = dataclasses.replace(LX2(), l1=l1, l2=l2)
+        h = CacheHierarchy(config)
+        h.demand_access(0, 1, write=True)  # line 0 dirty in L1
+        h.demand_access(8, 1, write=True)  # evicts line 0 into L2 (dirty)
+        assert h.mem_lines_written == 0
+        # Thrash L2 until dirty line 0 is displaced to DRAM.
+        for line in range(2, 6):
+            h.demand_access(line * 8, 1, write=False)
+        assert h.mem_lines_written >= 1
 
     def test_reset_stats_keeps_contents(self):
         h = self.make()

@@ -80,3 +80,62 @@ class TestStrongScaling:
         mc = MulticoreModel(LX2())
         pts = mc.strong_scaling(kernel_factory(), total_rows=64, core_counts=[1, 4])
         assert pts[1].points == pts[0].points  # same total grid rows*cols
+
+
+def synthetic_slice(cycles, points, dram_lines=0):
+    pc = PerfCounters()
+    pc.cycles = cycles
+    pc.points = points
+    pc.dram_lines_read = dram_lines
+    return pc
+
+
+class TestSerialRebase:
+    """Regression: speedup_vs_serial must compare against the true 1-core
+    point, not the same slice's own cycles (which reported ~1.0x)."""
+
+    def test_32_cores_reports_true_speedup(self):
+        mc = MulticoreModel(LX2())
+        # Perfectly linear synthetic workload: the 2-row slice runs 32x
+        # faster than the full 64-row grid.
+        slices = {2: synthetic_slice(100.0, 128), 64: synthetic_slice(3200.0, 4096)}
+        (pt,) = mc.series_from_slices(slices, total_rows=64, core_counts=[32])
+        assert pt.speedup_vs_serial == pytest.approx(32.0)
+        assert pt.serial_cycles == 3200.0
+        assert pt.serial_points == 4096
+
+    def test_serial_point_reports_one(self):
+        mc = MulticoreModel(LX2())
+        slices = {64: synthetic_slice(3200.0, 4096)}
+        (pt,) = mc.series_from_slices(slices, total_rows=64, core_counts=[1])
+        assert pt.speedup_vs_serial == pytest.approx(1.0)
+
+    def test_strong_scaling_simulates_serial_reference(self):
+        mc = MulticoreModel(LX2())
+        # 1 is NOT in core_counts: the serial (64-row) reference must be
+        # simulated anyway and used as the rebase target.
+        pts = mc.strong_scaling(kernel_factory(), total_rows=64, core_counts=[4])
+        assert pts[0].serial_cycles > 0
+        assert pts[0].serial_points == pts[0].points
+        assert pts[0].speedup_vs_serial > 2.0  # real speedup, not ~1.0x
+
+    def test_remainder_rows_surfaced(self):
+        mc = MulticoreModel(LX2())
+        slices = {
+            21: synthetic_slice(100.0, 1344),
+            64: synthetic_slice(320.0, 4096),
+        }
+        (pt,) = mc.series_from_slices(slices, total_rows=64, core_counts=[3])
+        assert pt.remainder_rows == 64 % 3 == 1
+        assert pt.points == 3 * 1344  # remainder rows are not computed
+
+    def test_missing_serial_slice_rejected(self):
+        mc = MulticoreModel(LX2())
+        with pytest.raises(ValueError):
+            mc.series_from_slices({32: synthetic_slice(100.0, 2048)}, 64, [2])
+
+    def test_bare_scaling_point_falls_back_to_slice_ratio(self):
+        mc = MulticoreModel(LX2())
+        pt = mc.scaling_point(4, synthetic_slice(1000.0, 4096))
+        assert pt.serial_cycles == 0.0
+        assert pt.speedup_vs_serial == pytest.approx(1.0)

@@ -52,6 +52,19 @@ class TestDerived:
     def test_dram_bytes(self):
         assert sample().dram_bytes() == 15 * 64
 
+    def test_dram_bytes_follows_machine_line_size(self):
+        """Regression: the default must track the line size the counters
+        were collected at, not a hardcoded 64 B."""
+        pc = sample()
+        pc.line_bytes = 128
+        assert pc.dram_bytes() == 15 * 128
+        assert pc.dram_bytes(32) == 15 * 32  # explicit override still wins
+
+    def test_line_bytes_survives_scaling(self):
+        pc = sample()
+        pc.line_bytes = 128
+        assert pc.scaled(2.0).line_bytes == 128
+
 
 class TestScaling:
     def test_scaled_marks_sampled(self):
