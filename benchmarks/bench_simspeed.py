@@ -1,0 +1,130 @@
+"""Simulator throughput — reference object walk vs compiled template replay.
+
+Runs the Figure 12 in-cache 2D workload (128x128, full simulation with a
+warm pass) through both engines of :class:`repro.machine.timing.TimingEngine`
+and reports simulated instructions per wall-clock second.  Both engines are
+driven cold (no disk cache): the point is simulation speed, not cache hits.
+Every cell is also checked for the bit-identity contract — identical
+:class:`PerfCounters` from both engines — so the speedup is never bought
+with accuracy.
+
+Artifacts: ``benchmarks/results/BENCH_simspeed.json`` plus the usual
+terminal table.  Target: the compiled engine simulates the workload >= 5x
+faster than the reference walk.
+"""
+
+import time
+
+from conftest import bench_artifact, report
+
+from repro.bench.report import format_metric_table
+from repro.bench.runner import ExperimentRunner
+from repro.machine.config import LX2
+from repro.machine.timing import ENGINES
+
+METHODS = ["vector-only", "matrix-only", "hstencil", "auto"]
+SHAPE = (128, 128)
+SUITE_2D = ["star2d5p", "star2d9p", "star2d13p", "box2d9p", "box2d25p", "box2d49p", "heat2d"]
+
+SPEEDUP_TARGET = 5.0
+
+
+def _run_engine(engine, cells):
+    """Simulate every cell with one engine; return (seconds, counter dicts)."""
+    runner = ExperimentRunner(LX2(), cache_dir=None, engine=engine)
+    start = time.perf_counter()
+    results = {cell: runner.measure(*cell) for cell in cells}
+    seconds = time.perf_counter() - start
+    counters = {cell: m.counters.to_dict() for cell, m in results.items()}
+    instructions = sum(m.counters.instructions for m in results.values())
+    return seconds, instructions, counters
+
+
+def test_simspeed_fig12_workload(benchmark):
+    cells = [(m, name, SHAPE) for name in SUITE_2D for m in METHODS]
+
+    ref_s, ref_ins, ref_counters = _run_engine("reference", cells)
+
+    def compiled():
+        return _run_engine("compiled", cells)
+
+    cmp_s, cmp_ins, cmp_counters = benchmark.pedantic(
+        compiled, rounds=1, iterations=1, warmup_rounds=0
+    )
+
+    # Bit-identity: same instructions simulated, same counters everywhere.
+    assert cmp_ins == ref_ins
+    mismatched = [cell for cell in cells if ref_counters[cell] != cmp_counters[cell]]
+    assert mismatched == []
+
+    speedup = ref_s / cmp_s
+    rows = {
+        "reference": {
+            "wall s": f"{ref_s:.2f}",
+            "sim ins": f"{ref_ins:,}",
+            "ins/s": f"{ref_ins / ref_s:,.0f}",
+        },
+        "compiled": {
+            "wall s": f"{cmp_s:.2f}",
+            "sim ins": f"{cmp_ins:,}",
+            "ins/s": f"{cmp_ins / cmp_s:,.0f}",
+        },
+    }
+    report(
+        "simspeed",
+        format_metric_table("Simulator throughput (fig12 in-cache workload)", rows)
+        + f"\ncompiled vs reference wall-clock speedup: {speedup:.2f}x "
+        f"(target >= {SPEEDUP_TARGET:.0f}x)",
+    )
+    bench_artifact(
+        "simspeed",
+        extra={
+            "engines": list(ENGINES),
+            "workload": {
+                "methods": METHODS,
+                "stencils": SUITE_2D,
+                "shape": list(SHAPE),
+                "machine": "LX2",
+            },
+            "reference": {"seconds": ref_s, "instructions": ref_ins},
+            "compiled": {"seconds": cmp_s, "instructions": cmp_ins},
+            "instructions_per_second": {
+                "reference": ref_ins / ref_s,
+                "compiled": cmp_ins / cmp_s,
+            },
+            "speedup": speedup,
+            "speedup_target": SPEEDUP_TARGET,
+            "bit_identical": True,
+        },
+    )
+    assert speedup >= SPEEDUP_TARGET
+
+
+def test_smoke_simspeed_engines_agree():
+    """One small cell per engine: identical counters, artifact fields sane."""
+    cell = ("hstencil", "star2d5p", (32, 32))
+    timings = {}
+    counters = {}
+    for engine in ENGINES:
+        runner = ExperimentRunner(LX2(), cache_dir=None, engine=engine)
+        start = time.perf_counter()
+        counters[engine] = runner.measure(*cell).counters.to_dict()
+        timings[engine] = time.perf_counter() - start
+    assert counters["compiled"] == counters["reference"]
+    assert all(s > 0 for s in timings.values())
+
+
+def test_smoke_simspeed_disk_cache_is_engine_agnostic(tmp_path):
+    """A cell simulated by one engine is served from disk to the other.
+
+    The disk-cache key deliberately omits the engine: the engines are
+    bit-identical, so sharing entries is sound and halves cold-cache cost.
+    """
+    cell = ("auto", "box2d9p", (32, 32))
+    first = ExperimentRunner(LX2(), cache_dir=tmp_path, engine="reference")
+    a = first.measure(*cell)
+    assert first.provenance(*cell) == "simulated"
+    second = ExperimentRunner(LX2(), cache_dir=tmp_path, engine="compiled")
+    b = second.measure(*cell)
+    assert second.provenance(*cell) == "disk"
+    assert a.counters.to_dict() == b.counters.to_dict()

@@ -53,11 +53,11 @@ _WORKER_RUNNER = None
 _WORKER_ARGS: Tuple[bool, Optional[SamplePlan]] = (True, None)
 
 
-def _init_worker(machine, options, cache_dir, warm, plan) -> None:
+def _init_worker(machine, options, cache_dir, warm, plan, engine=None) -> None:
     global _WORKER_RUNNER, _WORKER_ARGS
     from repro.bench.runner import ExperimentRunner
 
-    _WORKER_RUNNER = ExperimentRunner(machine, options, cache_dir=cache_dir)
+    _WORKER_RUNNER = ExperimentRunner(machine, options, cache_dir=cache_dir, engine=engine)
     _WORKER_ARGS = (warm, plan)
 
 
@@ -104,6 +104,7 @@ def run_cells(
     jobs: int = 1,
     progress: bool = False,
     runner=None,
+    engine: Optional[str] = None,
 ) -> List[CellResult]:
     """Measure every cell, fanning out across ``jobs`` worker processes.
 
@@ -133,7 +134,7 @@ def run_cells(
             # Reuse the caller's runner so its memo/disk caches serve directly.
             _WORKER_RUNNER, _WORKER_ARGS = runner, (warm, plan)
         else:
-            _init_worker(machine, options, cache_dir, warm, plan)
+            _init_worker(machine, options, cache_dir, warm, plan, engine)
         try:
             for item in indexed:
                 results.append(_run_cell(item))
@@ -145,7 +146,7 @@ def run_cells(
         with ctx.Pool(
             processes=min(jobs, total),
             initializer=_init_worker,
-            initargs=(machine, options, cache_dir, warm, plan),
+            initargs=(machine, options, cache_dir, warm, plan, engine),
         ) as pool:
             for result in pool.imap_unordered(_run_cell, indexed):
                 results.append(result)

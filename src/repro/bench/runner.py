@@ -59,10 +59,14 @@ class ExperimentRunner:
         machine: Optional[MachineConfig] = None,
         options: Optional[KernelOptions] = None,
         cache_dir=None,
+        engine: Optional[str] = None,
     ) -> None:
         self.machine = machine if machine is not None else LX2()
         self.options = options or KernelOptions()
-        self.engine = TimingEngine(self.machine)
+        # ``engine`` selects the simulation engine ("compiled"/"reference").
+        # The disk-cache key deliberately does NOT include it: the engines
+        # are bit-identical, so either may serve the other's cached cells.
+        self.engine = TimingEngine(self.machine, engine=engine)
         self.disk_cache = MeasurementCache(cache_dir) if cache_dir else None
         self._cache: Dict[Tuple, Measurement] = {}
         #: key tuple -> "simulated" | "disk" (how the cell was first obtained).
@@ -181,6 +185,7 @@ class ExperimentRunner:
             jobs=jobs,
             progress=progress,
             runner=self,
+            engine=self.engine.engine,
         )
 
     def sweep(

@@ -1,0 +1,254 @@
+"""Row-template trace compilation: emit once per shape class, replay per block.
+
+Stencil kernels emit structurally identical traces for every interior block
+of a band — only the word addresses change, and they change *affinely* in
+the block's loop coordinates (row-major grids, fixed strides).  This module
+exploits that regularity:
+
+* blocks are grouped into **shape classes** by their per-dimension edge
+  rank (``("L", k)`` for the first :data:`EDGE` ranks, ``("R", n - k)`` for
+  the last :data:`EDGE`, ``"M"`` for everything between).  Edge blocks —
+  tail-predicated columns, prefetch-clipped borders, prologue/epilogue rows
+  — each get their own class, so one class only ever mixes blocks whose
+  emitted streams should coincide structurally;
+* the first block of a class is emitted for real and becomes the class's
+  :class:`RowTemplate`: the trace, its address vector ``addr0`` and one
+  address delta per varying mid dimension, fitted from a neighbour probe
+  (``addr(key) = addr0 + sum_d delta_d * (key_d - key0_d)``);
+* the affine model is **probe-verified** before the class is trusted: the
+  adjacent block, both extremes of every varying dimension, and an
+  all-extremes corner block are emitted and checked for exact structural
+  equality (addresses masked) and exact address agreement.  Any mismatch
+  marks the whole class non-templatable, and its blocks take the reference
+  emit-and-walk path forever;
+* replay then rebases ``addr0`` per block with one vectorized int64
+  operation and hands the precompiled timing/functional programs the
+  resulting address list — emission, scheduling and per-instruction
+  metadata resolution all run once per class instead of once per block.
+
+Probing relies on the :class:`~repro.isa.program.Kernel` contract that
+``emit`` is pure.  Kernels whose emission is *not* affine in the block key
+(or that emit unknown instruction types) are automatically and safely
+demoted to the reference walk — correctness never depends on the fit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.isa.program import Kernel, KernelBlock, Trace
+from repro.machine.compiled import (
+    FunctionalProgram,
+    TimingProgram,
+    build_functional_program,
+    build_timing_program,
+    trace_addresses,
+    trace_signature,
+)
+from repro.machine.config import MachineConfig
+
+#: Starting edge width: blocks within this many ranks of either end of a
+#: dimension get their own shape class (covers prologue/epilogue rows,
+#: tail-predicated columns and prefetch clipping, which all key off
+#: proximity to the iteration edge).  When a class fails probe
+#: verification the compiler widens the edge up to :data:`MAX_EDGE` and
+#: reclassifies, so kernels whose emission diverges a little deeper from
+#: the boundary still template their true interior.
+EDGE = 1
+MAX_EDGE = 2
+
+_UNBUILT = object()
+
+
+class RowTemplate:
+    """One compiled shape class: a representative trace plus address model."""
+
+    __slots__ = (
+        "trace",
+        "key0",
+        "addr0",
+        "deltas",
+        "_addr0_list",
+        "_functional",
+        "_timing",
+        "_timing_config",
+    )
+
+    def __init__(
+        self,
+        trace: Trace,
+        key0: Tuple[int, ...],
+        addr0: np.ndarray,
+        deltas: Tuple[Tuple[int, np.ndarray], ...],
+    ) -> None:
+        self.trace = trace
+        self.key0 = key0
+        self.addr0 = addr0
+        #: ``(dimension, per-address word delta)`` for each varying dimension.
+        self.deltas = deltas
+        self._addr0_list: List[int] = addr0.tolist()
+        self._functional: object = _UNBUILT
+        self._timing: object = _UNBUILT
+        self._timing_config: Optional[MachineConfig] = None
+
+    def addrs_for(self, key: Sequence[int]) -> List[int]:
+        """Rebased address list for a block of this class (plain ints)."""
+        addrs = self.addr0
+        key0 = self.key0
+        rebased = False
+        for d, delta in self.deltas:
+            dk = key[d] - key0[d]
+            if dk:
+                addrs = addrs + delta * dk if rebased else self.addr0 + delta * dk
+                rebased = True
+        if not rebased:
+            return self._addr0_list
+        return addrs.tolist()
+
+    def timing_program(self, config: MachineConfig) -> Optional[TimingProgram]:
+        """Lazily built scoreboard program (``None`` -> reference walk)."""
+        if self._timing is _UNBUILT or self._timing_config is not config:
+            self._timing = build_timing_program(self.trace, config)
+            self._timing_config = config
+        return self._timing  # type: ignore[return-value]
+
+    def functional_program(self) -> Optional[FunctionalProgram]:
+        """Lazily built semantic program (``None`` -> reference walk)."""
+        if self._functional is _UNBUILT:
+            self._functional = build_functional_program(self.trace)
+        return self._functional  # type: ignore[return-value]
+
+
+class TraceCompiler:
+    """Groups a kernel's blocks into probe-verified replayable templates."""
+
+    def __init__(self, kernel: Kernel, edge: int = EDGE, max_edge: int = MAX_EDGE) -> None:
+        self.kernel = kernel
+        self.edge = edge
+        self.max_edge = max(edge, max_edge)
+        nest = kernel.loop_nest()
+        self.shape: Tuple[int, ...] = tuple(nest.shape)
+        self._by_key: Dict[Tuple[int, ...], KernelBlock] = {b.key: b for b in nest.blocks}
+        #: shape class -> RowTemplate, or None when the class failed probing.
+        self._classes: Dict[Tuple, Optional[RowTemplate]] = {}
+        self.templated_blocks = 0
+        self.fallback_blocks = 0
+
+    # ------------------------------------------------------------------
+
+    def lookup(self, block: KernelBlock) -> Optional[Tuple[RowTemplate, List[int]]]:
+        """Template + rebased addresses for a block, or ``None`` to fall back."""
+        while True:
+            cls = self._class_of(block.key)
+            if cls is None:
+                self.fallback_blocks += 1
+                return None
+            try:
+                template = self._classes[cls]
+            except KeyError:
+                template = self._compile_class(cls, block)
+                self._classes[cls] = template
+            if template is None and self.edge < self.max_edge and "M" in cls:
+                # The class mixed structurally different blocks; widen the
+                # edge bands and reclassify everything under the new width.
+                self.edge += 1
+                self._classes.clear()
+                continue
+            break
+        if template is None:
+            self.fallback_blocks += 1
+            return None
+        self.templated_blocks += 1
+        return template, template.addrs_for(block.key)
+
+    # ------------------------------------------------------------------
+
+    def _class_of(self, key: Tuple[int, ...]) -> Optional[Tuple]:
+        if len(key) != len(self.shape):
+            return None
+        edge = self.edge
+        labels: List[object] = []
+        for k, n in zip(key, self.shape):
+            if k < edge:
+                labels.append(("L", k))
+            elif k >= n - edge:
+                labels.append(("R", n - k))
+            else:
+                labels.append("M")
+        return tuple(labels)
+
+    def _varying_dims(self, cls: Tuple) -> List[int]:
+        """Dimensions whose coordinate actually varies within the class."""
+        edge = self.edge
+        return [
+            d
+            for d, label in enumerate(cls)
+            if label == "M" and (self.shape[d] - 2 * edge) >= 2
+        ]
+
+    def _compile_class(self, cls: Tuple, block: KernelBlock) -> Optional[RowTemplate]:
+        kernel = self.kernel
+        key0 = block.key
+        trace0 = kernel.emit(block)
+        sig0 = trace_signature(trace0)
+        addr0 = np.asarray(trace_addresses(trace0), dtype=np.int64)
+
+        deltas: List[Tuple[int, np.ndarray]] = []
+        edge = self.edge
+        for d in self._varying_dims(cls):
+            lo, hi = edge, self.shape[d] - edge - 1
+            k0 = key0[d]
+            step = 1 if k0 < hi else -1
+            adjacent = k0 + step
+            fitted = self._probe(key0, d, adjacent, sig0)
+            if fitted is None:
+                return None
+            delta = (fitted - addr0) // step
+            if np.any(addr0 + delta * step != fitted):
+                return None  # non-integer per-step delta
+            # Verify the fit at both extremes of the dimension's range.
+            for kp in (lo, hi):
+                if kp in (k0, adjacent):
+                    continue
+                probed = self._probe(key0, d, kp, sig0)
+                if probed is None or np.any(addr0 + delta * (kp - k0) != probed):
+                    return None
+            deltas.append((d, delta))
+
+        if len(deltas) >= 2:
+            # Corner probe: all varying dimensions at their far extreme at
+            # once, checking that the per-dimension deltas add.
+            corner = list(key0)
+            expected = addr0.copy()
+            for d, delta in deltas:
+                hi = self.shape[d] - edge - 1
+                kp = hi if key0[d] != hi else edge
+                corner[d] = kp
+                expected = expected + delta * (kp - key0[d])
+            corner_block = self._by_key.get(tuple(corner))
+            if corner_block is None:
+                return None
+            corner_trace = kernel.emit(corner_block)
+            if trace_signature(corner_trace) != sig0:
+                return None
+            if np.any(
+                np.asarray(trace_addresses(corner_trace), dtype=np.int64) != expected
+            ):
+                return None
+
+        return RowTemplate(trace0, key0, addr0, tuple(deltas))
+
+    def _probe(
+        self, key0: Tuple[int, ...], d: int, kp: int, sig0: Tuple
+    ) -> Optional[np.ndarray]:
+        """Emit the block at ``key0`` with dimension ``d`` set to ``kp``."""
+        key = key0[:d] + (kp,) + key0[d + 1 :]
+        probe_block = self._by_key.get(key)
+        if probe_block is None:
+            return None
+        trace = self.kernel.emit(probe_block)
+        if trace_signature(trace) != sig0:
+            return None
+        return np.asarray(trace_addresses(trace), dtype=np.int64)

@@ -16,6 +16,9 @@ and Apple M4 CPUs (see DESIGN.md, substitution table).  It contains:
 * :mod:`repro.machine.timing` — the engine that walks a kernel's block
   loop (optionally band-sampled) through pipeline + caches and produces
   :class:`repro.machine.perf.PerfCounters`.
+* :mod:`repro.machine.compiled` — trace-to-program builders behind the
+  ``engine="compiled"`` template-replay fast path (see
+  :mod:`repro.kernels.template`).
 * :mod:`repro.machine.multicore` — row-partitioned strong-scaling model
   with shared-memory-bandwidth contention.
 """
@@ -27,7 +30,7 @@ from repro.machine.prefetcher import StreamPrefetcher
 from repro.machine.perf import PerfCounters
 from repro.machine.functional import FunctionalEngine
 from repro.machine.pipeline import PipelineModel
-from repro.machine.timing import TimingEngine, SamplePlan
+from repro.machine.timing import ENGINES, TimingEngine, SamplePlan, default_engine
 from repro.machine.multicore import MulticoreModel, ScalingPoint
 
 __all__ = [
@@ -43,6 +46,8 @@ __all__ = [
     "PipelineModel",
     "TimingEngine",
     "SamplePlan",
+    "ENGINES",
+    "default_engine",
     "MulticoreModel",
     "ScalingPoint",
 ]

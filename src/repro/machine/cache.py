@@ -76,15 +76,23 @@ class CacheStats:
 
 
 class CacheLevel:
-    """One set-associative, write-back, write-allocate cache level."""
+    """One set-associative, write-back, write-allocate cache level.
+
+    Replacement state is an age map per set (``line -> last-use tick`` from a
+    monotonic counter): hits and installs are O(1) dict operations, and only
+    an actual eviction scans the (associativity-bounded) set for its oldest
+    entry.  Age order is exactly MRU-list order, so replacement decisions are
+    identical to a textbook LRU list at a fraction of the bookkeeping cost.
+    """
 
     def __init__(self, geometry: CacheGeometry, name: str) -> None:
         self.geometry = geometry
         self.name = name
         self.num_sets = geometry.num_sets
         self.assoc = geometry.associativity
-        # Per set: list of line tags, most-recently-used first.
-        self._sets: Dict[int, List[int]] = {}
+        # Per set: {line tag -> last-use tick}; bigger tick = more recent.
+        self._sets: List[Dict[int, int]] = [{} for _ in range(self.num_sets)]
+        self._tick = 0
         self._dirty: set = set()
         self.stats = CacheStats()
 
@@ -93,12 +101,12 @@ class CacheLevel:
 
     def lookup(self, line: int, update_lru: bool = True) -> bool:
         """Probe for a line; on hit optionally promote to MRU."""
-        ways = self._sets.get(self._set_index(line))
-        if ways is None or line not in ways:
+        ways = self._sets[line % self.num_sets]
+        if line not in ways:
             return False
-        if update_lru and ways[0] != line:
-            ways.remove(line)
-            ways.insert(0, line)
+        if update_lru:
+            self._tick += 1
+            ways[line] = self._tick
         return True
 
     def install(self, line: int, dirty: bool = False) -> Optional[int]:
@@ -106,19 +114,19 @@ class CacheLevel:
 
         Clean evictions are silent (no writeback traffic).
         """
-        idx = self._set_index(line)
-        ways = self._sets.setdefault(idx, [])
+        ways = self._sets[line % self.num_sets]
+        self._tick += 1
         if line in ways:
-            ways.remove(line)
-            ways.insert(0, line)
+            ways[line] = self._tick
             if dirty:
                 self._dirty.add(line)
             return None
-        ways.insert(0, line)
+        ways[line] = self._tick
         if dirty:
             self._dirty.add(line)
         if len(ways) > self.assoc:
-            victim = ways.pop()
+            victim = min(ways, key=ways.__getitem__)
+            del ways[victim]
             if victim in self._dirty:
                 self._dirty.discard(victim)
                 self.stats.writebacks += 1
@@ -130,17 +138,17 @@ class CacheLevel:
 
     def contains(self, line: int) -> bool:
         """Non-destructive membership check (no LRU update)."""
-        ways = self._sets.get(self._set_index(line))
-        return bool(ways) and line in ways
+        return line in self._sets[line % self.num_sets]
 
     def resident_lines(self) -> int:
-        return sum(len(w) for w in self._sets.values())
+        return sum(len(w) for w in self._sets)
 
     def flush(self) -> int:
         """Drop all lines; return number of dirty lines written back."""
         dirty = len(self._dirty)
         self.stats.writebacks += dirty
-        self._sets.clear()
+        for ways in self._sets:
+            ways.clear()
         self._dirty.clear()
         return dirty
 
@@ -178,19 +186,38 @@ class CacheHierarchy:
         way back (write-allocate for stores).  The returned level (L1, L2 or
         MEM) is the slowest line's source and determines load latency.
         """
+        first = word_addr // self.line_words
+        last = (word_addr + nwords - 1) // self.line_words
+        if first == last:
+            return self._access_line(first, write)
         worst = L1
-        for line in self.lines_for(word_addr, nwords):
+        for line in range(first, last + 1):
             level = self._access_line(line, write)
-            worst = max(worst, level)
+            if level > worst:
+                worst = level
         return worst
 
     def _access_line(self, line: int, write: bool) -> int:
-        self.l1.stats.demand_accesses += 1
-        if self.l1.lookup(line):
-            self.l1.stats.demand_hits += 1
+        # L1-hit fast path: one set resolution serves the probe, the LRU
+        # promotion and the dirty marking (the overwhelmingly common case).
+        l1 = self.l1
+        l1.stats.demand_accesses += 1
+        ways = l1._sets[line % l1.num_sets]
+        if line in ways:
+            l1._tick += 1
+            ways[line] = l1._tick
+            l1.stats.demand_hits += 1
             if write:
-                self.l1.mark_dirty(line)
+                l1._dirty.add(line)
             return L1
+        return self._access_line_miss(line, write)
+
+    def _access_line_miss(self, line: int, write: bool) -> int:
+        """L1-miss continuation of a demand access (L1 stats already counted).
+
+        Split out so the compiled replay loop can inline the L1-hit probe
+        and share this exact slow path.
+        """
         self.l2.stats.demand_accesses += 1
         if self.l2.lookup(line):
             self.l2.stats.demand_hits += 1

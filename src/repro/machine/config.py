@@ -148,7 +148,16 @@ class MachineConfig:
 
     def latency_for(self, ins: Instruction) -> LatencySpec:
         """Latency/II for an instruction (memory level handled by caller)."""
-        spec = self.latencies.get(ins.mnemonic)
+        try:
+            memo = self._latency_memo
+        except AttributeError:
+            # Frozen dataclass: stash the per-mnemonic memo out of band.  The
+            # memo aliases ``latencies`` entries, so it can never go stale
+            # unless the table itself is mutated (configs are treated as
+            # immutable everywhere).
+            memo = dict(self.latencies)
+            object.__setattr__(self, "_latency_memo", memo)
+        spec = memo.get(ins.mnemonic)
         if spec is None:
             raise KeyError(f"{self.name}: no latency configured for {ins.mnemonic!r}")
         return spec

@@ -14,7 +14,8 @@ sampled bands of the out-of-cache sizes).
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+import os
+from typing import Iterable, Optional, Sequence
 
 import numpy as np
 
@@ -41,7 +42,26 @@ from repro.isa.instructions import (
 )
 from repro.isa.program import Kernel, KernelBlock
 from repro.isa.registers import RegisterFile, SVL_LANES
-from repro.machine.memory import MemorySpace
+from repro.machine.compiled import (
+    F_CONST,
+    F_EXT,
+    F_FADD,
+    F_FMLA,
+    F_FMLA_IDX,
+    F_FMLA_M,
+    F_FMOPA,
+    F_FMUL_IDX,
+    F_LD,
+    F_LD_STRIDED,
+    F_LD_TAIL,
+    F_MOVA_TV,
+    F_MOVA_VT,
+    F_ST,
+    F_ST_SLICE,
+    F_ZERO,
+    FunctionalProgram,
+)
+from repro.machine.memory import MemorySpace, PAGE_WORDS
 
 
 class FunctionalEngine:
@@ -119,12 +139,144 @@ class FunctionalEngine:
         for ins in trace:
             self.execute(ins)
 
+    def execute_template(self, program: FunctionalProgram, addrs: Sequence[int]) -> None:
+        """Replay a precompiled template with rebased addresses.
+
+        Bit-identical to :meth:`execute_trace` on the template's
+        instructions carrying the given addresses: the flat ops perform the
+        same IEEE operations in the same order, just without per-instruction
+        ``isinstance`` chains or defensive register copies.  Loads and
+        stores that stay within one memory page skip the paged read/write
+        machinery (the overwhelmingly common case for line-aligned rows).
+        """
+        regs = self.regs
+        vregs = regs._vregs
+        tiles = regs._tiles
+        mem = self.memory
+        pages = mem._pages
+        check_range = mem._check_range
+        page_for = mem._page_for
+        mem_base = mem._BASE
+        mem_next = mem._next
+        lanes = SVL_LANES
+        self.instructions_executed += program.count
+
+        for op in program.ops:
+            code = op[0]
+            if code == F_FMLA:
+                vregs[op[1]] += vregs[op[2]] * vregs[op[3]]
+            elif code == F_FMLA_IDX:
+                vregs[op[1]] += vregs[op[2]] * vregs[op[3]][op[4]]
+            elif code == F_LD:
+                addr = addrs[op[2]]
+                if addr < mem_base or addr + lanes > mem_next:
+                    check_range(addr, lanes)
+                page_id, off = divmod(addr, PAGE_WORDS)
+                if off + lanes <= PAGE_WORDS:
+                    page = pages.get(page_id)
+                    if page is None:
+                        vregs[op[1]] = 0.0
+                    else:
+                        vregs[op[1]] = page[off : off + lanes]
+                else:
+                    vregs[op[1]] = mem.read(addr, lanes)
+            elif code == F_EXT:
+                imm = op[4]
+                if imm == 0:
+                    vregs[op[1]] = vregs[op[2]]
+                elif imm == lanes:
+                    vregs[op[1]] = vregs[op[3]]
+                else:
+                    head = vregs[op[2]][imm:]
+                    tail = vregs[op[3]][: imm]
+                    out = np.empty(lanes)
+                    out[: lanes - imm] = head
+                    out[lanes - imm :] = tail
+                    vregs[op[1]] = out
+            elif code == F_FMOPA:
+                tiles[op[1]] += vregs[op[2]].reshape(lanes, 1) * vregs[op[3]]
+            elif code == F_ST:
+                addr = addrs[op[2]]
+                mask = op[3]
+                if addr < mem_base or addr + mask > mem_next:
+                    check_range(addr, mask)
+                page_id, off = divmod(addr, PAGE_WORDS)
+                if off + mask <= PAGE_WORDS:
+                    page, _ = page_for(addr, True)
+                    page[off : off + mask] = vregs[op[1]][: mask]
+                else:
+                    mem.write(addr, vregs[op[1]][: mask])
+            elif code == F_ST_SLICE:
+                addr = addrs[op[3]]
+                mask = op[4]
+                if addr < mem_base or addr + mask > mem_next:
+                    check_range(addr, mask)
+                page_id, off = divmod(addr, PAGE_WORDS)
+                if off + mask <= PAGE_WORDS:
+                    page, _ = page_for(addr, True)
+                    page[off : off + mask] = tiles[op[1], op[2]][: mask]
+                else:
+                    mem.write(addr, tiles[op[1], op[2]][: mask])
+            elif code == F_FMUL_IDX:
+                vregs[op[1]] = vregs[op[2]] * vregs[op[3]][op[4]]
+            elif code == F_FADD:
+                vregs[op[1]] = vregs[op[2]] + vregs[op[3]]
+            elif code == F_LD_TAIL:
+                addr = addrs[op[2]]
+                mask = op[3]
+                row = vregs[op[1]]
+                row[mask:] = 0.0
+                row[: mask] = mem.read(addr, mask)
+            elif code == F_LD_STRIDED:
+                vregs[op[1]] = mem.read_strided(addrs[op[2]], lanes, op[3])
+            elif code == F_CONST:
+                vregs[op[1]] = op[2]
+            elif code == F_ZERO:
+                tiles[op[1]] = 0.0
+            elif code == F_MOVA_TV:
+                vregs[op[1]] = tiles[op[2], op[3]]
+            elif code == F_MOVA_VT:
+                tiles[op[1], op[2]] = vregs[op[3]]
+            elif code == F_FMLA_M:
+                scalar = vregs[op[3]][op[4]]
+                tile = op[1]
+                base = op[2]
+                for g in range(4):
+                    tiles[tile, 2 * g] += vregs[base + g] * scalar
+            else:  # pragma: no cover - builder emits only known opcodes
+                raise ValueError(f"unknown functional opcode {code}")
+
     # ------------------------------------------------------------------
 
-    def run_kernel(self, kernel: Kernel) -> None:
-        """Execute a kernel in full: preamble, then every block in order."""
+    def run_kernel(self, kernel: Kernel, engine: Optional[str] = None) -> None:
+        """Execute a kernel in full: preamble, then every block in order.
+
+        ``engine`` selects the compiled template-replay fast path
+        (``"compiled"``, the default) or the per-instruction reference walk
+        (``"reference"``); unset, the ``REPRO_ENGINE`` environment variable
+        decides.  Both produce bit-identical architectural state.
+        """
+        if engine is None:
+            engine = os.environ.get("REPRO_ENGINE", "compiled")
+        if engine == "reference":
+            self.execute_trace(kernel.preamble())
+            for block in kernel.loop_nest():
+                self.execute_trace(kernel.emit(block))
+            return
+        if engine != "compiled":
+            raise ValueError(f"unknown engine {engine!r}")
+        from repro.kernels.template import TraceCompiler
+
+        compiler = TraceCompiler(kernel)
         self.execute_trace(kernel.preamble())
         for block in kernel.loop_nest():
+            entry = compiler.lookup(block)
+            if entry is not None:
+                template, addrs = entry
+                program = template.functional_program()
+                if program is not None:
+                    self.execute_template(program, addrs)
+                    continue
             self.execute_trace(kernel.emit(block))
 
     def run_blocks(self, kernel: Kernel, blocks: Iterable[KernelBlock]) -> None:

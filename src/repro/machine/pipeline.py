@@ -20,7 +20,8 @@ max over a handful of scoreboard entries — no cycle-by-cycle loop.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional
+from collections import Counter
+from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.isa.instructions import (
     Instruction,
@@ -32,9 +33,18 @@ from repro.isa.instructions import (
     ST1D_SLICE,
 )
 from repro.machine.cache import L1, L2, MEM, CacheHierarchy
+from repro.machine.compiled import (
+    K_LOAD,
+    K_PRFM,
+    K_STORE,
+    N_SLOTS,
+    SCOREBOARD_KEYS,
+    SLOT_OF,
+    TimingProgram,
+)
 from repro.machine.config import MachineConfig
 from repro.machine.perf import PerfCounters
-from repro.machine.prefetcher import StreamPrefetcher
+from repro.machine.prefetcher import LINES_PER_PAGE, StreamPrefetcher, _Stream
 
 
 class PipelineModel:
@@ -72,16 +82,21 @@ class PipelineModel:
         self.makespan = 0
 
         self.instructions_retired = 0
-        self.instructions_by_port: Dict[PortClass, int] = {}
+        self.instructions_by_port: Dict[PortClass, int] = Counter()
         self.flops = 0
         self.useful_flops = 0
         self.sw_prefetches = 0
+
+        #: Hoisted mnemonic -> LatencySpec table (configs are immutable).
+        self._latency_table = dict(config.latencies)
 
     # ------------------------------------------------------------------
 
     def process(self, ins: Instruction) -> int:
         """Advance the model by one instruction; return its issue cycle."""
-        spec = self.config.latency_for(ins)
+        spec = self._latency_table.get(ins.mnemonic)
+        if spec is None:
+            spec = self.config.latency_for(ins)  # raises the canonical KeyError
 
         # Earliest cycle with operands ready (reads) and no WAW overtaking
         # of an in-flight write to the same key (no renaming).
@@ -143,7 +158,7 @@ class PipelineModel:
             self.makespan = done
 
         self.instructions_retired += 1
-        self.instructions_by_port[ins.port] = self.instructions_by_port.get(ins.port, 0) + 1
+        self.instructions_by_port[ins.port] += 1
         self.flops += ins.flops
         self.useful_flops += ins.useful_flops
         return t
@@ -152,6 +167,209 @@ class PipelineModel:
         """Process a straight-line sequence of instructions."""
         for ins in trace:
             self.process(ins)
+
+    def process_template(self, program: TimingProgram, addrs: Sequence[int]) -> None:
+        """Replay a precompiled template with rebased addresses.
+
+        Bit-identical to calling :meth:`process` on the template's
+        instructions carrying the given addresses: the same scoreboard
+        arithmetic, the same first-least-loaded pipe choice, the same
+        cache/prefetcher operations in the same order.  Readiness runs in
+        a flat slot array (synchronized with the reference ``_ready`` dict
+        at entry/exit), the per-line L1 probe and the stream-table
+        training are inlined operation-for-operation, and per-instruction
+        counter updates are applied in bulk from the program's aggregates.
+        Miss and prefetch-fill paths go through the same
+        hierarchy/prefetcher methods the reference walk uses.
+        """
+        cfg = self.config
+        ready = self._ready
+        slot_of_get = SLOT_OF.get
+        slots = [0] * N_SLOTS
+        for key, val in ready.items():
+            idx = slot_of_get(key)
+            if idx is not None:
+                slots[idx] = val
+        pipes_by_id = [self._port_free[p] for p in program.ports]
+        hierarchy = self.hierarchy
+        access_line_miss = hierarchy._access_line_miss
+        fill_l1 = hierarchy._fill_l1
+        fill_l2 = hierarchy._fill_l2
+        line_words = hierarchy.line_words
+        l1 = hierarchy.l1
+        l1_stats = l1.stats
+        l1_num_sets = l1.num_sets
+        l1_sets = l1._sets
+        l1_dirty = l1._dirty
+        l2 = hierarchy.l2
+        l2_num_sets = l2.num_sets
+        l2_sets = l2._sets
+        pf = self.prefetcher
+        pf_on = pf.enabled and pf.num_streams > 0
+        pf_streams = pf._streams
+        pf_move = pf_streams.move_to_end
+        pf_get = pf_streams.get
+        pf_confirm = pf.confirm_advances
+        pf_max = pf.num_streams
+        pf_depth = pf.depth
+        issue_width = cfg.issue_width
+        penalty = (
+            0,
+            0,
+            cfg.l2_load_latency - cfg.l1_load_latency,
+            cfg.mem_load_latency - cfg.l1_load_latency,
+        )
+        frontier = self._frontier
+        cycle = self._cycle
+        issued = self._issued_this_cycle
+        makespan = self.makespan
+        # L1 demand counters accumulate locally and flush once at exit;
+        # nothing reads them mid-replay (the miss path only touches L2 and
+        # fill statistics).
+        demand_accesses = 0
+        demand_hits = 0
+
+        for dep_slots, write_slots, port_id, base_latency, ii, kind, memops in program.steps:
+            t = frontier
+            for s in dep_slots:
+                r = slots[s]
+                if r > t:
+                    t = r
+
+            pipes = pipes_by_id[port_id]
+            if len(pipes) == 1:
+                pipe_idx = 0
+            elif len(pipes) == 2:
+                pipe_idx = 0 if pipes[0] <= pipes[1] else 1
+            else:
+                pipe_idx = min(range(len(pipes)), key=pipes.__getitem__)
+            if pipes[pipe_idx] > t:
+                t = pipes[pipe_idx]
+
+            if t > cycle:
+                cycle = t
+                issued = 0
+            if issued >= issue_width:
+                t = cycle + 1
+                cycle = t
+                issued = 0
+
+            latency = base_latency
+            if kind:
+                if kind == K_PRFM:
+                    addr_idx, length, wr = memops
+                    hierarchy.software_prefetch(addrs[addr_idx], length, write=wr)
+                else:
+                    # Loads and stores share one inlined walk; the reference
+                    # order per memop is: every covered line's demand access,
+                    # then every covered line's prefetcher training with the
+                    # memop's overall hit flag.
+                    is_store = kind == K_STORE
+                    worst = L1
+                    for addr_idx, offset, nwords in memops:
+                        addr = addrs[addr_idx] + offset
+                        first = addr // line_words
+                        last = (addr + nwords - 1) // line_words
+                        level = L1
+                        line = first
+                        while True:
+                            # Inlined CacheHierarchy._access_line L1 probe.
+                            demand_accesses += 1
+                            ways = l1_sets[line % l1_num_sets]
+                            if line in ways:
+                                l1._tick += 1
+                                ways[line] = l1._tick
+                                demand_hits += 1
+                                if is_store:
+                                    l1_dirty.add(line)
+                            else:
+                                lv = access_line_miss(line, is_store)
+                                if lv > level:
+                                    level = lv
+                            if line == last:
+                                break
+                            line += 1
+                        if pf_on:
+                            # Inlined StreamPrefetcher._observe_line.
+                            hit = level == L1
+                            line = first
+                            while True:
+                                stream = pf_get(line)
+                                if stream is not None:
+                                    pf_move(line)
+                                else:
+                                    stream = pf_get(line - 1)
+                                    if stream is not None:
+                                        del pf_streams[line - 1]
+                                        stream.advances += 1
+                                        stream.tail_line = line
+                                        pf_streams[line] = stream
+                                        if stream.advances == pf_confirm:
+                                            pf.streams_confirmed += 1
+                                        if stream.advances >= pf_confirm:
+                                            # Inlined _issue_ahead +
+                                            # hardware_prefetch probes.
+                                            page = line // LINES_PER_PAGE
+                                            for target in range(
+                                                line + 1, line + pf_depth + 1
+                                            ):
+                                                if target // LINES_PER_PAGE != page:
+                                                    break
+                                                if (
+                                                    target
+                                                    not in l1_sets[target % l1_num_sets]
+                                                ):
+                                                    ways2 = l2_sets[
+                                                        target % l2_num_sets
+                                                    ]
+                                                    if target in ways2:
+                                                        l2._tick += 1
+                                                        ways2[target] = l2._tick
+                                                    else:
+                                                        hierarchy.mem_lines_read += 1
+                                                        fill_l2(target)
+                                                    fill_l1(target, False)
+                                                    l1_stats.prefetch_fills += 1
+                                                pf.prefetches_issued += 1
+                                    elif not hit:
+                                        pf_streams[line] = _Stream(tail_line=line)
+                                        pf.streams_allocated += 1
+                                        if len(pf_streams) > pf_max:
+                                            pf_streams.popitem(last=False)
+                                if line == last:
+                                    break
+                                line += 1
+                        if level > worst:
+                            worst = level
+                    if not is_store:
+                        latency += penalty[worst]
+
+            pipes[pipe_idx] = t + ii
+            frontier = t
+            issued += 1
+            done = t + latency
+            for s in write_slots:
+                slots[s] = done
+            if done > makespan:
+                makespan = done
+
+        l1_stats.demand_accesses += demand_accesses
+        l1_stats.demand_hits += demand_hits
+        for i in range(N_SLOTS):
+            v = slots[i]
+            if v:
+                ready[SCOREBOARD_KEYS[i]] = v
+        self._frontier = frontier
+        self._cycle = cycle
+        self._issued_this_cycle = issued
+        self.makespan = makespan
+        self.instructions_retired += program.count
+        by_port = self.instructions_by_port
+        for port, n in program.port_counts.items():
+            by_port[port] += n
+        self.flops += program.flops
+        self.useful_flops += program.useful_flops
+        self.sw_prefetches += program.n_prfm
 
     def _miss_penalty(self, level: int) -> int:
         cfg = self.config

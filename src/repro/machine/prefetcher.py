@@ -27,8 +27,8 @@ such hardware features" while row-streaming vector kernels stay covered.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import List, Optional
 
 from repro.machine.cache import CacheHierarchy
 
@@ -62,8 +62,11 @@ class StreamPrefetcher:
         self.depth = depth
         self.enabled = enabled
         self.confirm_advances = confirm_advances
-        # MRU-first list of streams.
-        self._streams: List[_Stream] = []
+        # Stream table keyed by tail line, least-recently-used first.  Tail
+        # lines are unique (a stream only ever advances to — and is only
+        # ever allocated at — a line no other stream currently tails), so
+        # the key doubles as stream identity and every probe is O(1).
+        self._streams: "OrderedDict[int, _Stream]" = OrderedDict()
         self.prefetches_issued = 0
         self.streams_confirmed = 0
         self.streams_allocated = 0
@@ -80,16 +83,18 @@ class StreamPrefetcher:
             self._observe_line(line, hit)
 
     def _observe_line(self, line: int, hit: bool) -> None:
-        stream = self._find(lambda s: s.tail_line == line)
+        streams = self._streams
+        stream = streams.get(line)
         if stream is not None:
             # Re-access of the tail: refresh recency only.
-            self._touch(stream)
+            streams.move_to_end(line)
             return
-        stream = self._find(lambda s: s.tail_line == line - 1)
+        stream = streams.get(line - 1)
         if stream is not None:
+            del streams[line - 1]
             stream.advances += 1
             stream.tail_line = line
-            self._touch(stream)
+            streams[line] = stream
             if stream.advances == self.confirm_advances:
                 self.streams_confirmed += 1
             if stream.advances >= self.confirm_advances:
@@ -98,10 +103,10 @@ class StreamPrefetcher:
         if hit:
             return  # hits never allocate a stream
         # New candidate stream (unconfirmed); evict LRU if full.
-        self._streams.insert(0, _Stream(tail_line=line))
+        streams[line] = _Stream(tail_line=line)
         self.streams_allocated += 1
-        if len(self._streams) > self.num_streams:
-            self._streams.pop()
+        if len(streams) > self.num_streams:
+            streams.popitem(last=False)
 
     def _issue_ahead(self, line: int) -> None:
         """Prefetch up to ``depth`` lines ahead, stopping at the page edge."""
@@ -112,16 +117,6 @@ class StreamPrefetcher:
                 break
             self.hierarchy.hardware_prefetch(target)
             self.prefetches_issued += 1
-
-    def _find(self, pred) -> Optional[_Stream]:
-        for s in self._streams:
-            if pred(s):
-                return s
-        return None
-
-    def _touch(self, stream: _Stream) -> None:
-        self._streams.remove(stream)
-        self._streams.insert(0, stream)
 
     def active_streams(self) -> int:
         return len(self._streams)

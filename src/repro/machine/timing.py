@@ -13,11 +13,12 @@ made of) is exercised faithfully.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
-from typing import Iterable, Optional
+from typing import Callable, Iterable, Optional
 
 from repro.isa.instructions import Instruction
-from repro.isa.program import Kernel
+from repro.isa.program import Kernel, KernelBlock
 from repro.machine.config import MachineConfig
 from repro.machine.perf import PerfCounters
 from repro.machine.pipeline import PipelineModel
@@ -43,11 +44,60 @@ class SamplePlan:
 FULL_SIM_POINT_LIMIT = 300_000
 
 
-class TimingEngine:
-    """Produces :class:`PerfCounters` for kernels and raw traces."""
+#: Engines selectable on :class:`TimingEngine` / ``FunctionalEngine.run_kernel``.
+ENGINES = ("compiled", "reference")
 
-    def __init__(self, config: MachineConfig) -> None:
+
+def default_engine() -> str:
+    """Engine used when none is requested (``REPRO_ENGINE`` overrides)."""
+    return os.environ.get("REPRO_ENGINE", "compiled")
+
+
+class TimingEngine:
+    """Produces :class:`PerfCounters` for kernels and raw traces.
+
+    ``engine="compiled"`` (the default) drives kernel blocks through the
+    trace-compilation layer (:mod:`repro.kernels.template`): one emit +
+    schedule per shape class, then scoreboard replay over precompiled step
+    arrays with rebased addresses.  ``engine="reference"`` re-emits and
+    walks instruction objects per block.  The two are bit-identical on
+    every counter; the compiled path silently falls back to the reference
+    walk for any block whose class fails probe verification.
+    """
+
+    def __init__(self, config: MachineConfig, engine: Optional[str] = None) -> None:
         self.config = config
+        if engine is None:
+            engine = default_engine()
+        if engine not in ENGINES:
+            raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
+        self.engine = engine
+
+    # ------------------------------------------------------------------
+
+    def _block_runner(
+        self, kernel: Kernel, pipe: PipelineModel
+    ) -> Callable[[KernelBlock], None]:
+        """Per-block processing function for the selected engine."""
+        if self.engine != "compiled":
+            return lambda block: pipe.process_trace(kernel.emit(block))
+
+        from repro.kernels.template import TraceCompiler
+
+        compiler = TraceCompiler(kernel)
+        config = self.config
+
+        def run_block(block: KernelBlock) -> None:
+            entry = compiler.lookup(block)
+            if entry is not None:
+                template, addrs = entry
+                program = template.timing_program(config)
+                if program is not None:
+                    pipe.process_template(program, addrs)
+                    return
+            pipe.process_trace(kernel.emit(block))
+
+        return run_block
 
     # ------------------------------------------------------------------
 
@@ -91,16 +141,17 @@ class TimingEngine:
     def _run_full(self, kernel: Kernel, warm: bool) -> PerfCounters:
         pipe = PipelineModel(self.config)
         nest = kernel.loop_nest()
+        run_block = self._block_runner(kernel, pipe)
         if warm:
             pipe.process_trace(kernel.preamble())
             for block in nest:
-                pipe.process_trace(kernel.emit(block))
+                run_block(block)
             before = pipe.snapshot()
         else:
             before = None
         pipe.process_trace(kernel.preamble())
         for block in nest:
-            pipe.process_trace(kernel.emit(block))
+            run_block(block)
         counters = pipe.snapshot()
         if before is not None:
             counters = PipelineModel.delta(counters, before)
@@ -114,17 +165,18 @@ class TimingEngine:
         total_points = nest.total_points()
 
         warmup = min(plan.warmup_bands, max(len(bands) - 1, 0))
+        run_block = self._block_runner(kernel, pipe)
         pipe.process_trace(kernel.preamble())
         for band in bands[:warmup]:
             for block in band:
-                pipe.process_trace(kernel.emit(block))
+                run_block(block)
 
         before = pipe.snapshot()
         measured_points = 0
         measured_bands = 0
         for band in bands[warmup:]:
             for block in band:
-                pipe.process_trace(kernel.emit(block))
+                run_block(block)
                 measured_points += block.points
             measured_bands += 1
             if measured_points >= plan.min_measure_points:
