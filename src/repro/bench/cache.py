@@ -96,6 +96,7 @@ def cache_key(
     options: KernelOptions,
     plan: Optional[SamplePlan],
     warm: bool,
+    iters: int = 1,
 ) -> Tuple[str, Dict]:
     """Digest + canonical inputs for one ``(machine, cell)`` measurement."""
     inputs = {
@@ -109,6 +110,9 @@ def cache_key(
         "plan": dataclasses.asdict(plan) if plan is not None else None,
         "warm": warm,
     }
+    if iters != 1:
+        # Keyed only when non-default so existing cache entries stay valid.
+        inputs["iters"] = iters
     blob = json.dumps(inputs, sort_keys=True)
     return hashlib.sha256(blob.encode()).hexdigest(), inputs
 

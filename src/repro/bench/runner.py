@@ -89,10 +89,15 @@ class ExperimentRunner:
 
     @staticmethod
     def _key(
-        method: str, stencil: str, shape: Tuple[int, ...], warm: bool, plan: Optional[SamplePlan]
+        method: str,
+        stencil: str,
+        shape: Tuple[int, ...],
+        warm: bool,
+        plan: Optional[SamplePlan],
+        iters: int = 1,
     ) -> Tuple:
         plan_key = (plan.warmup_bands, plan.min_measure_points, plan.max_measure_bands) if plan else None
-        return (method, stencil, tuple(shape), warm, plan_key)
+        return (method, stencil, tuple(shape), warm, plan_key, iters)
 
     def measure(
         self,
@@ -101,9 +106,10 @@ class ExperimentRunner:
         shape: Tuple[int, ...],
         warm: bool = True,
         plan: Optional[SamplePlan] = None,
+        iters: int = 1,
     ) -> Measurement:
         """Measure one cell (memoized in-process, optionally disk-cached)."""
-        key = self._key(method, stencil, shape, warm, plan)
+        key = self._key(method, stencil, shape, warm, plan, iters)
         if key in self._cache:
             return self._cache[key]
 
@@ -111,14 +117,15 @@ class ExperimentRunner:
         counters: Optional[PerfCounters] = None
         if self.disk_cache is not None:
             disk_key, inputs = cache_key(
-                self.machine, method, stencil, tuple(shape), self.options, plan, warm
+                self.machine, method, stencil, tuple(shape), self.options, plan, warm,
+                iters=iters,
             )
             counters = self.disk_cache.load(disk_key)
 
         if counters is None:
             spec = stencil_benchmark(stencil)
             kernel = self._build(method, spec, shape)
-            counters = self.engine.run(kernel, warm=warm, plan=plan)
+            counters = self.engine.run(kernel, warm=warm, plan=plan, iters=iters)
             counters.label = f"{method}/{stencil}/{shape}"
             self._provenance[key] = "simulated"
             if self.disk_cache is not None:
@@ -241,7 +248,7 @@ class ExperimentRunner:
         """JSON-safe description of every measured cell, with provenance."""
         out: List[Dict] = []
         for key, measurement in self._cache.items():
-            method, stencil, shape, warm, plan_key = key
+            method, stencil, shape, warm, plan_key, iters = key
             pc = measurement.counters
             out.append(
                 {
@@ -250,6 +257,7 @@ class ExperimentRunner:
                     "shape": list(shape),
                     "warm": warm,
                     "plan": list(plan_key) if plan_key else None,
+                    "iters": iters,
                     "source": self._provenance.get(key, "unknown"),
                     "counters": pc.to_dict(),
                     "derived": {

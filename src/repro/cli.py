@@ -82,6 +82,7 @@ def _runner(args) -> ExperimentRunner:
         _machine(args.machine),
         _options(args),
         cache_dir=cache_dir,
+        engine=getattr(args, "engine", None),
     )
 
 
@@ -202,7 +203,8 @@ def cmd_verify(args) -> int:
         dst = Grid3D(mem, *shape, r, "B")
     kernel = make_kernel(args.method, spec, src, dst, _machine(args.machine), _options(args))
     engine = FunctionalEngine(mem)
-    engine.run_kernel(kernel)
+    # Explicit --engine wins; None defers to REPRO_ENGINE, then "compiled".
+    engine.run_kernel(kernel, engine=args.engine)
     got = dst.get_interior()
     ref = apply_reference(src.get_full(), spec)
     scale = max(float(np.max(np.abs(ref))), 1e-30)
@@ -309,6 +311,15 @@ def build_parser() -> argparse.ArgumentParser:
             metavar="PATH",
             help="write a BENCH_*.json artifact (file, or directory for the default name)",
         )
+        _engine_arg(p)
+
+    def _engine_arg(p):
+        p.add_argument(
+            "--engine",
+            choices=["compiled", "reference"],
+            default=None,
+            help="simulation engine (default: REPRO_ENGINE env var, then compiled)",
+        )
 
     p = sub.add_parser("bench", help="time one method")
     common(p)
@@ -328,6 +339,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("verify", help="functional check vs NumPy reference")
     common(p, default_size="16x32")
+    _engine_arg(p)
     p.add_argument("--method", default="hstencil")
     p.add_argument("--seed", type=int, default=0)
 

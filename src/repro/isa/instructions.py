@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Iterable, Tuple
+from typing import ClassVar, Iterable, Tuple
 
 from repro.isa.registers import SVL_LANES, TileReg, VReg
 
@@ -66,13 +66,16 @@ def _tile_keys(tile: TileReg, rows: Iterable[int]) -> Tuple[DepKey, ...]:
 ALL_ROWS: Tuple[int, ...] = tuple(range(SVL_LANES))
 
 
-@dataclass
+@dataclass(slots=True)
 class Instruction:
     """Common behaviour for all instructions.
 
     Subclasses override the class attributes ``mnemonic`` and ``port`` and
     the dependency/memory/flop hooks.  Instances are plain mutable objects:
-    scheduling passes reorder them but never mutate operands.
+    scheduling passes reorder them but never mutate operands.  Every
+    instruction class is ``slots=True``: traces hold millions of these
+    during out-of-cache sweeps, and slotted instances are both smaller and
+    faster to construct than ``__dict__``-backed ones.
     """
 
     mnemonic = "nop"
@@ -110,7 +113,7 @@ class Instruction:
 # ---------------------------------------------------------------------------
 
 
-@dataclass
+@dataclass(slots=True)
 class LD1D(Instruction):
     """Contiguous vector load: ``dst <- mem[addr : addr+mask]``.
 
@@ -136,7 +139,7 @@ class LD1D(Instruction):
         return ((self.addr, self.mask),)
 
 
-@dataclass
+@dataclass(slots=True)
 class LD1D_STRIDED(Instruction):
     """Strided (gather) vector load: ``dst[k] <- mem[addr + k*stride]``.
 
@@ -160,7 +163,7 @@ class LD1D_STRIDED(Instruction):
         return tuple((self.addr + k * self.stride, 1) for k in range(SVL_LANES))
 
 
-@dataclass
+@dataclass(slots=True)
 class ST1D(Instruction):
     """Contiguous vector store: ``mem[addr : addr+mask] <- src[:mask]``."""
 
@@ -182,7 +185,7 @@ class ST1D(Instruction):
         return ((self.addr, self.mask),)
 
 
-@dataclass
+@dataclass(slots=True)
 class ST1D_SLICE(Instruction):
     """Store one horizontal tile slice: ``mem[addr : addr+8] <- tile[row]``.
 
@@ -210,7 +213,7 @@ class ST1D_SLICE(Instruction):
         return ((self.addr, self.mask),)
 
 
-@dataclass
+@dataclass(slots=True)
 class PRFM(Instruction):
     """Software prefetch of the cache line(s) covering ``addr``.
 
@@ -234,7 +237,7 @@ class PRFM(Instruction):
 # ---------------------------------------------------------------------------
 
 
-@dataclass
+@dataclass(slots=True)
 class FMLA(Instruction):
     """Vector multiply-accumulate: ``dst += a * b`` (lane-wise)."""
 
@@ -256,7 +259,7 @@ class FMLA(Instruction):
         return 2 * SVL_LANES
 
 
-@dataclass
+@dataclass(slots=True)
 class FMLA_IDX(Instruction):
     """Indexed MLA: ``dst += a * b[idx]`` (scalar element broadcast).
 
@@ -283,7 +286,7 @@ class FMLA_IDX(Instruction):
         return 2 * SVL_LANES
 
 
-@dataclass
+@dataclass(slots=True)
 class FMUL_IDX(Instruction):
     """Indexed multiply (no accumulate): ``dst = a * b[idx]``.
 
@@ -309,7 +312,7 @@ class FMUL_IDX(Instruction):
         return SVL_LANES
 
 
-@dataclass
+@dataclass(slots=True)
 class FADD_V(Instruction):
     """Vector add: ``dst = a + b``."""
 
@@ -331,7 +334,7 @@ class FADD_V(Instruction):
         return SVL_LANES
 
 
-@dataclass
+@dataclass(slots=True)
 class EXT(Instruction):
     """Extract/concatenate: ``dst = concat(a, b)[imm : imm+8]``.
 
@@ -361,7 +364,7 @@ class EXT(Instruction):
         return (_vkey(self.dst),)
 
 
-@dataclass
+@dataclass(slots=True)
 class DUP(Instruction):
     """Broadcast an immediate into all lanes: ``dst = [value] * 8``."""
 
@@ -375,7 +378,7 @@ class DUP(Instruction):
         return (_vkey(self.dst),)
 
 
-@dataclass
+@dataclass(slots=True)
 class SET_LANES(Instruction):
     """Materialize an arbitrary 8-lane constant (coefficient vector).
 
@@ -404,7 +407,7 @@ class SET_LANES(Instruction):
 # ---------------------------------------------------------------------------
 
 
-@dataclass
+@dataclass(slots=True)
 class FMOPA(Instruction):
     """Outer-product accumulate: ``tile += outer(coef, src)``.
 
@@ -455,7 +458,7 @@ class FMOPA(Instruction):
         return 2 * len(self.rows) * len(self.useful_cols)
 
 
-@dataclass
+@dataclass(slots=True)
 class ZERO_TILE(Instruction):
     """Clear a tile register to zeros."""
 
@@ -468,7 +471,7 @@ class ZERO_TILE(Instruction):
         return _tile_keys(self.tile, ALL_ROWS)
 
 
-@dataclass
+@dataclass(slots=True)
 class MOVA_TILE_TO_VEC(Instruction):
     """Move a horizontal tile slice to a vector register.
 
@@ -492,7 +495,7 @@ class MOVA_TILE_TO_VEC(Instruction):
         return (_vkey(self.dst),)
 
 
-@dataclass
+@dataclass(slots=True)
 class MOVA_VEC_TO_TILE(Instruction):
     """Move a vector register into a horizontal tile slice."""
 
@@ -510,7 +513,7 @@ class MOVA_VEC_TO_TILE(Instruction):
         return _tile_keys(self.tile, (self.row,))
 
 
-@dataclass
+@dataclass(slots=True)
 class FMLA_M(Instruction):
     """Apple-M4 matrix-MLA on vector groups (the paper's "M-MLA").
 
@@ -533,8 +536,8 @@ class FMLA_M(Instruction):
     mnemonic = "fmla.m"
     port = PortClass.MATRIX
 
-    EVEN_ROWS: Tuple[int, ...] = (0, 2, 4, 6)
-    GROUP: int = 4
+    EVEN_ROWS: ClassVar[Tuple[int, ...]] = (0, 2, 4, 6)
+    GROUP: ClassVar[int] = 4
 
     def __post_init__(self) -> None:
         if self.a_base.index + self.GROUP > 32:
@@ -565,7 +568,7 @@ class FMLA_M(Instruction):
 # ---------------------------------------------------------------------------
 
 
-@dataclass
+@dataclass(slots=True)
 class SCALAR_OP(Instruction):
     """Loop-control / address-arithmetic overhead instruction.
 

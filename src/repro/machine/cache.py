@@ -140,6 +140,19 @@ class CacheLevel:
         """Non-destructive membership check (no LRU update)."""
         return line in self._sets[line % self.num_sets]
 
+    def state_signature(self) -> tuple:
+        """Canonical replacement-relevant state (tags, LRU order, dirty bits).
+
+        Absolute tick values are *not* part of the signature: replacement
+        only ever compares ticks within one set, so the per-set LRU order
+        captures everything a future access sequence can observe.  Two
+        cache levels with equal signatures behave identically from here on.
+        """
+        sets = tuple(
+            tuple(sorted(ways, key=ways.__getitem__)) for ways in self._sets
+        )
+        return sets, frozenset(self._dirty)
+
     def resident_lines(self) -> int:
         return sum(len(w) for w in self._sets)
 

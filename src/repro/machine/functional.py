@@ -255,6 +255,12 @@ class FunctionalEngine:
         (``"compiled"``, the default) or the per-instruction reference walk
         (``"reference"``); unset, the ``REPRO_ENGINE`` environment variable
         decides.  Both produce bit-identical architectural state.
+
+        The compiled path additionally executes runs of consecutive blocks
+        that share a template *batched*: one NumPy opcode at a time across
+        the whole run (:mod:`repro.machine.batched`), falling back to the
+        per-block replay whenever the batch safety analysis says the
+        lockstep reordering could be observable.
         """
         if engine is None:
             engine = os.environ.get("REPRO_ENGINE", "compiled")
@@ -266,8 +272,20 @@ class FunctionalEngine:
         if engine != "compiled":
             raise ValueError(f"unknown engine {engine!r}")
         from repro.kernels.template import TraceCompiler
+        from repro.machine.batched import BatchReplayer
 
         compiler = TraceCompiler(kernel)
+        replayer = BatchReplayer(self)
+        pending_program = None
+        pending_addrs: list = []
+
+        def flush() -> None:
+            nonlocal pending_program
+            if pending_program is not None:
+                replayer.run(pending_program, pending_addrs)
+                pending_program = None
+                pending_addrs.clear()
+
         self.execute_trace(kernel.preamble())
         for block in kernel.loop_nest():
             entry = compiler.lookup(block)
@@ -275,9 +293,14 @@ class FunctionalEngine:
                 template, addrs = entry
                 program = template.functional_program()
                 if program is not None:
-                    self.execute_template(program, addrs)
+                    if program is not pending_program:
+                        flush()
+                        pending_program = program
+                    pending_addrs.append(addrs)
                     continue
+            flush()
             self.execute_trace(kernel.emit(block))
+        flush()
 
     def run_blocks(self, kernel: Kernel, blocks: Iterable[KernelBlock]) -> None:
         """Execute the preamble plus a subset of blocks (band verification)."""

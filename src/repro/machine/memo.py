@@ -1,0 +1,1205 @@
+"""Context-hashed timing memoization for template replay.
+
+``PipelineModel.process_template`` replays a block's precompiled
+:class:`~repro.machine.compiled.TimingProgram` one step at a time.  For the
+interior of a stencil sweep that walk is almost entirely redundant: the same
+program is replayed thousands of times and the *observable* microarchitectural
+context — the scoreboard carry-in relative to the issue frontier, the port
+pipes, and the handful of cache/prefetcher facts the walk actually reads —
+recurs after a short ramp, even while the raw cache contents keep changing
+underneath.  This module memoizes the walk on exactly that observable
+context:
+
+* the first time a (program, context signature) pair is seen, an
+  **instrumented recording replay** runs.  It is bit-identical to
+  ``process_template`` (same state mutations, same counters, in the same
+  order) and additionally captures
+
+  - the **observation set**: every pre-state fact the walk read, as
+    relocatable checks — per-line L1/L2 membership, dirty bits of eviction
+    victims, the LRU-minimum identity of every evicting set (with the lines
+    the block itself refreshed excluded), set-occupancy facts (an exact
+    length where an eviction decision depended on it, a weaker "at least k
+    ways free" bound where none did, so cold, still-filling sets keep
+    matching), and stream-table presence/advance/order facts; and
+  - the **transition set**: the walk's net effect — final per-line LRU
+    ticks (as offsets from the tick counter), evictions, dirty-bit updates,
+    an ordered stream-table op list, counter deltas, and the
+    scoreboard/pipe outputs relative to the entry frontier;
+
+* on a later replay whose signature matches and whose checks all hold
+  against the current pre-state, the recorded transitions are applied
+  directly — O(observations) dict operations instead of O(program steps)
+  scoreboard arithmetic;
+* every :data:`TimingMemo.probe_interval`-th hit of an entry is
+  **re-simulated**: the recording replay runs for real and its observation
+  and transition sets are compared against the stored entry.  Any mismatch
+  permanently demotes the whole program to the plain replay loop — the same
+  verify-or-fall-back discipline the template layer uses for its affine
+  address fit, so bit-identity with the reference walk never depends on the
+  memo being right, only on the recording replay being right (and that is
+  what ``tests/test_engine_equivalence.py`` enforces).
+
+Relocation is **two-frame**.  A stencil template's addresses split into a
+*moving* frame (grid rows: every address shifts by the same amount from
+block to block) and a *static* frame (coefficient tables: the same absolute
+words every block) — :class:`~repro.kernels.template.RowTemplate` exposes
+the partition as ``static_addrs``/``base_addr_idx``.  Every line or stream
+operand in an entry carries a frame bit: moving lines are stored as offsets
+from the block's base line (``rel << 1``), static lines as absolute lines
+(``(line << 1) | 1``), and both decode with one shift-and-add at check and
+apply time.  Set-indexed facts (occupancy, LRU minima) relocate soundly
+because set collisions are translation-invariant *within* a frame; the few
+facts that couple the frames are pinned by explicit cross-frame checks
+(``C_*_XCOLL``/``C_*_XDISJ`` for sets that mix installs from both frames or
+could merge under a new base, ``C_FR_DISJ`` for line-level aliasing), and a
+recording whose frames collide on a single line is tainted and never
+stored.  The signature therefore only needs the base's line phase — the
+sole residual base dependence — plus the per-dimension key offsets of any
+template whose deltas are not two-frame clean.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.machine.compiled import (
+    K_PRFM,
+    K_STORE,
+    N_SLOTS,
+    SCOREBOARD_KEYS,
+    SLOT_OF,
+    TimingProgram,
+)
+from repro.machine.prefetcher import LINES_PER_PAGE, _Stream
+
+#: Observation (check) opcodes.  All checks are evaluated against the
+#: *pre-replay* state.  Line/stream operands are frame-encoded integers:
+#: ``rel << 1`` for the moving frame (offset from the block's base line),
+#: ``(line << 1) | 1`` for the static frame (absolute line) — decoded as
+#: ``(e >> 1) + (base_line, 0)[e & 1]``.
+(
+    C_L1_MEM,   # (op, enc, expect)           line membership in L1
+    C_L2_MEM,   # (op, enc, expect)           line membership in L2
+    C_L1_DIRTY, # (op, enc, expect)           L1 dirty-bit of a victim
+    C_L2_DIRTY, # (op, enc, expect)           L2 dirty-bit of a victim
+    C_L1_LEN,   # (op, enc, n)                exact occupancy of enc's L1 set
+    C_L2_LEN,   # (op, enc, n)                exact occupancy of enc's L2 set
+    C_L1_ROOM,  # (op, enc, k)                enc's L1 set has room for k installs
+    C_L2_ROOM,  # (op, enc, k)                enc's L2 set has room for k installs
+    C_L1_MIN,   # (op, enc, excl, victim)     LRU-min of enc's L1 set (excl skipped)
+    C_L2_MIN,   # (op, enc, excl, victim)     LRU-min of enc's L2 set (excl skipped)
+    C_PF_AT,    # (op, enc, expect)           stream-table presence at enc
+    C_PF_ADV,   # (op, enc, n)                advance class of the stream at enc
+                #                             (exact below the confirm
+                #                             threshold, -1 = saturated: all
+                #                             confirmed streams behave alike)
+    C_PF_LEN,   # (op, n)                     exact stream-table size
+    C_PF_ROOM,  # (op, k)                     stream table has room for k streams
+    C_PF_HEAD,  # (op, victim, skip)          LRU head after skipping `skip` is
+                #                             victim (None: no pre-state stream
+                #                             outside `skip` remains at all)
+    C_PG_ROOM,  # (op, enc, m)                >= m lines left on enc's page
+    C_PG_AT,    # (op, enc, m)                exactly m lines left on enc's page
+    C_L1_XCOLL, # (op, rel, set_idx)          moving rel still maps to the L1 set
+                #                             where it mixed with static installs
+    C_L2_XCOLL, # (op, rel, set_idx)          ... same for L2
+    C_L1_XDISJ, # (op, rels, set_idxs)        no pure-moving-install L1 set lands
+                #                             on a pure-static-install L1 set
+    C_L2_XDISJ, # (op, rels, set_idxs)        ... same for L2
+    C_FR_DISJ,  # (op, lines, rels)           no static line aliases a moving rel
+) = range(22)
+
+#: Stream-table transition opcodes (applied in recorded order).
+PF_MOVE, PF_ADVANCE, PF_ALLOC, PF_POP = range(4)
+
+
+#: Valid ``REPRO_MEMO`` modes.  ``pass`` (the default) enables only the
+#: pass-level fixed-point memoization in :class:`TimingEngine` — it is pure
+#: win on repeated-iteration runs and free everywhere else.  ``block``
+#: enables only the per-block context memo in this module, which pays off
+#: when the same block context recurs many times (roughly five or more
+#: replays per recorded context); ``full`` enables both, ``off`` neither.
+MEMO_MODES = ("off", "block", "pass", "full")
+
+_MODE_ALIASES = {
+    "0": "off",
+    "false": "off",
+    "1": "full",
+    "on": "full",
+    "true": "full",
+}
+
+
+def memo_mode() -> str:
+    """Resolved ``REPRO_MEMO`` mode (see :data:`MEMO_MODES`)."""
+    raw = os.environ.get("REPRO_MEMO", "pass").lower()
+    mode = _MODE_ALIASES.get(raw, raw)
+    if mode not in MEMO_MODES:
+        raise ValueError(f"unknown REPRO_MEMO mode {raw!r}; expected one of {MEMO_MODES}")
+    return mode
+
+
+def memo_enabled() -> bool:
+    """Whether the per-block context memo is active."""
+    return memo_mode() in ("block", "full")
+
+
+def pass_memo_enabled() -> bool:
+    """Whether the pass-level fixed-point memoization is active."""
+    return memo_mode() in ("pass", "full")
+
+
+class MemoEntry:
+    """One recorded replay: observation set, transition set, outputs."""
+
+    __slots__ = (
+        "checks",
+        "l1_ticks",
+        "l1_dels",
+        "l1_dirty",
+        "l1_bumps",
+        "l2_ticks",
+        "l2_dels",
+        "l2_dirty",
+        "l2_bumps",
+        "pf_ops",
+        "counters",
+        "slots_out",
+        "pipes_out",
+        "frontier_rel",
+        "cycle_lag",
+        "issued_out",
+        "max_done_rel",
+        "tainted",
+        "hits",
+    )
+
+    def signature(self) -> Tuple:
+        """Comparable identity of the recorded behaviour (probe equality)."""
+        return (
+            self.checks,
+            self.l1_ticks,
+            self.l1_dels,
+            self.l1_dirty,
+            self.l1_bumps,
+            self.l2_ticks,
+            self.l2_dels,
+            self.l2_dirty,
+            self.l2_bumps,
+            self.pf_ops,
+            self.counters,
+            self.slots_out,
+            self.pipes_out,
+            self.frontier_rel,
+            self.cycle_lag,
+            self.issued_out,
+            self.max_done_rel,
+            self.tainted,
+        )
+
+
+class _LevelRec:
+    """Recording adapter for one :class:`~repro.machine.cache.CacheLevel`.
+
+    Performs the *real* mutations on the level's sets while tracking what
+    the walk learned (membership, dirty bits, occupancy) so each pre-state
+    fact becomes exactly one check and everything derivable from the
+    block's own earlier activity is never checked at all.  Every line is
+    assigned a frame (moving/static) at first touch; a later touch under
+    the other frame taints the recording (the entry is then discarded).
+    """
+
+    __slots__ = (
+        "level",
+        "base",
+        "checks",
+        "c_mem",
+        "c_dirty",
+        "c_len",
+        "c_room",
+        "c_min",
+        "c_xcoll",
+        "c_xdisj",
+        "known",
+        "pre_present",
+        "dirty_known",
+        "ordinal",
+        "added",
+        "set_info",
+        "fr",
+        "conflict",
+        "bumps",
+        "writebacks",
+    )
+
+    def __init__(self, level, base_line: int, checks: List, is_l1: bool) -> None:
+        self.level = level
+        self.base = base_line
+        self.checks = checks
+        if is_l1:
+            self.c_mem, self.c_dirty = C_L1_MEM, C_L1_DIRTY
+            self.c_len, self.c_room, self.c_min = C_L1_LEN, C_L1_ROOM, C_L1_MIN
+            self.c_xcoll, self.c_xdisj = C_L1_XCOLL, C_L1_XDISJ
+        else:
+            self.c_mem, self.c_dirty = C_L2_MEM, C_L2_DIRTY
+            self.c_len, self.c_room, self.c_min = C_L2_LEN, C_L2_ROOM, C_L2_MIN
+            self.c_xcoll, self.c_xdisj = C_L2_XCOLL, C_L2_XDISJ
+        #: line -> currently-known membership.
+        self.known: Dict[int, bool] = {}
+        #: line -> membership in the pre-state (recorded when first learned).
+        self.pre_present: Dict[int, bool] = {}
+        #: line -> known current dirty-bit value.
+        self.dirty_known: Dict[int, bool] = {}
+        #: line -> bump ordinal of its most recent tick assignment.
+        self.ordinal: Dict[int, int] = {}
+        #: lines currently present that the block itself installed.
+        self.added: set = set()
+        #: set index -> [net occupancy delta, exact-len checked, max room
+        #: needed, anchor line, displaced pre-state lines (bumped/evicted),
+        #: had moving install, had static install, a moving-install line].
+        self.set_info: Dict[int, List] = {}
+        #: line -> frame (0 moving, 1 static), fixed at first touch.
+        self.fr: Dict[int, int] = {}
+        self.conflict = False
+        self.bumps = 0
+        self.writebacks = 0
+
+    def _enc(self, line: int) -> int:
+        if self.fr.get(line, 0):
+            return (line << 1) | 1
+        return (line - self.base) << 1
+
+    # -- observations ------------------------------------------------------
+
+    def contains(self, line: int, st: int) -> bool:
+        """Membership probe; emits a pre-state check the first time."""
+        if self.fr.setdefault(line, st) != st:
+            self.conflict = True
+        present = self.known.get(line)
+        if present is None:
+            present = line in self.level._sets[line % self.level.num_sets]
+            self.known[line] = present
+            self.pre_present[line] = present
+            self.checks.append((self.c_mem, self._enc(line), present))
+        return present
+
+    def dirty_contains(self, line: int) -> bool:
+        dirty = self.dirty_known.get(line)
+        if dirty is None:
+            dirty = line in self.level._dirty
+            self.dirty_known[line] = dirty
+            self.checks.append((self.c_dirty, self._enc(line), dirty))
+        return dirty
+
+    # -- mutations ---------------------------------------------------------
+
+    def _info(self, line: int) -> List:
+        set_idx = line % self.level.num_sets
+        info = self.set_info.get(set_idx)
+        if info is None:
+            info = [0, False, 0, line, [], False, False, 0]
+            self.set_info[set_idx] = info
+        return info
+
+    def bump(self, line: int) -> None:
+        """LRU promotion of a (present) line."""
+        lvl = self.level
+        lvl._tick += 1
+        lvl._sets[line % lvl.num_sets][line] = lvl._tick
+        self.bumps += 1
+        self.ordinal[line] = self.bumps
+        if line not in self.added:
+            self._info(line)[4].append(line)
+
+    def set_dirty(self, line: int) -> None:
+        self.level._dirty.add(line)
+        self.dirty_known[line] = True
+
+    def install(self, line: int, dirty: bool, l2rec: Optional["_LevelRec"], st: int) -> None:
+        """Mirror of ``CacheLevel.install`` + the hierarchy writeback chain.
+
+        ``l2rec`` is the next level, used for the dirty-victim writeback
+        path (``None`` when self *is* L2: its dirty victims go to DRAM and
+        the caller counts them via the ``writebacks`` delta).  Call sites
+        guarantee ``line`` is absent (they probed first).
+        """
+        if self.fr.setdefault(line, st) != st:
+            self.conflict = True
+        lvl = self.level
+        ways = lvl._sets[line % lvl.num_sets]
+        info = self._info(line)
+        if st:
+            info[6] = True
+        else:
+            info[5] = True
+            info[7] = line
+
+        lvl._tick += 1
+        self.bumps += 1
+        ways[line] = lvl._tick
+        self.ordinal[line] = self.bumps
+        self.known[line] = True
+        if not self.pre_present.setdefault(line, False):
+            self.added.add(line)
+        if dirty:
+            lvl._dirty.add(line)
+            self.dirty_known[line] = True
+        else:
+            self.dirty_known[line] = False
+
+        if len(ways) > lvl.assoc:
+            if not info[1]:
+                # The eviction decision depends on the exact pre-occupancy;
+                # pin it (pre-len = occupancy before this insert minus the
+                # block's own net delta so far).
+                self.checks.append(
+                    (self.c_len, self._enc(info[3]), len(ways) - 1 - info[0])
+                )
+                info[1] = True
+            victim = min(ways, key=ways.__getitem__)
+            if victim not in self.added:
+                # Pre-state line: its being the LRU-minimum (once the lines
+                # the block already refreshed or evicted are excluded) is a
+                # pre-state fact.  An unobserved victim defaults to the
+                # moving frame (a static victim then simply fails the check
+                # at a different base and re-records — sound, never wrong).
+                self.fr.setdefault(victim, 0)
+                # The victim is a pre-state resident even if never probed
+                # directly; record that so ``finish`` emits its eviction.
+                self.pre_present[victim] = True
+                excl = tuple(self._enc(r) for r in info[4] if r != victim)
+                self.checks.append(
+                    (self.c_min, self._enc(line), excl, self._enc(victim))
+                )
+                info[4].append(victim)
+            del ways[victim]
+            self.known[victim] = False
+            self.ordinal.pop(victim, None)
+            self.added.discard(victim)
+            info[0] -= 1
+            if self.dirty_contains(victim):
+                lvl._dirty.discard(victim)
+                self.dirty_known[victim] = False
+                lvl.stats.writebacks += 1
+                self.writebacks += 1
+                if l2rec is not None:
+                    # L1 -> L2 writeback (membership-only L2 probe, exactly
+                    # CacheHierarchy._fill_l1's lookup(update_lru=False)).
+                    vf = self.fr.get(victim, 0)
+                    if not l2rec.contains(victim, vf):
+                        l2rec.install(victim, True, None, vf)
+                    else:
+                        l2rec.set_dirty(victim)
+        else:
+            info[0] += 1
+            if not info[1] and info[0] > info[2]:
+                info[2] = info[0]
+
+    # -- compression -------------------------------------------------------
+
+    def finish(self) -> Tuple[Tuple, Tuple, Tuple, int]:
+        """Emit occupancy / cross-frame checks and the transition set."""
+        base = self.base
+        enc = self._enc
+        mov_sets: List[int] = []
+        stat_sets: List[int] = []
+        for set_idx, info in self.set_info.items():
+            if not info[1] and info[2] > 0:
+                self.checks.append((self.c_room, enc(info[3]), info[2]))
+            if info[5] and info[6]:
+                # Installs from both frames shared this set: the recorded
+                # eviction/occupancy interplay is only valid while they
+                # still collide.
+                self.checks.append((self.c_xcoll, info[7] - base, set_idx))
+            elif info[5]:
+                mov_sets.append(info[7] - base)
+            elif info[6]:
+                stat_sets.append(set_idx)
+        if mov_sets and stat_sets:
+            # Pure-moving-install sets must not relocate onto a
+            # pure-static-install set (their room checks are per-set).
+            self.checks.append((self.c_xdisj, tuple(mov_sets), tuple(stat_sets)))
+        ticks = tuple(
+            (enc(line), k) for line, k in self.ordinal.items() if self.known.get(line)
+        )
+        dels = tuple(
+            enc(line)
+            for line, pre in self.pre_present.items()
+            if pre and self.known.get(line) is False
+        )
+        dirty = tuple(
+            (enc(line), bit)
+            for line, bit in self.dirty_known.items()
+            if self.known.get(line)
+        )
+        return ticks, dels, dirty, self.bumps
+
+
+def _record(
+    pipe,
+    program: TimingProgram,
+    addrs: Sequence[int],
+    base_line: int,
+    static_addrs: Tuple[bool, ...],
+) -> MemoEntry:
+    """Instrumented replay: bit-identical to ``process_template``, plus it
+    captures the observation and transition sets into a :class:`MemoEntry`.
+    """
+    cfg = pipe.config
+    ready = pipe._ready
+    hierarchy = pipe.hierarchy
+    line_words = hierarchy.line_words
+    checks: List[Tuple] = []
+    l1r = _LevelRec(hierarchy.l1, base_line, checks, is_l1=True)
+    l2r = _LevelRec(hierarchy.l2, base_line, checks, is_l1=False)
+
+    pf = pipe.prefetcher
+    pf_on = pf.enabled and pf.num_streams > 0
+    pf_streams = pf._streams
+    pf_confirm = pf.confirm_advances
+    pf_max = pf.num_streams
+    pf_depth = pf.depth
+    pf_ops: List[Tuple] = []
+    #: stream key -> known presence (pre-state value recorded on first probe).
+    pf_known: Dict[int, bool] = {}
+    #: stream key -> frame (0 moving, 1 static), fixed at first touch.
+    pf_fr: Dict[int, int] = {}
+    #: keys whose advance count is known (checked pre streams, block streams).
+    pf_adv_known: set = set()
+    #: keys currently at block-determined positions (moved/advanced/allocated).
+    pf_moved: set = set()
+    #: pre-state keys displaced from their pre-state position, in order.
+    pf_skip: List[int] = []
+    pf_conflict = False
+    pf_net = 0
+    pf_len_exact = False
+    pf_room_need = 0
+    #: issue-ahead site enc -> (exact, lines issued): page-phase facts
+    #: (the entry is relocatable across page phases that break identically).
+    page_req: Dict[int, Tuple[bool, int]] = {}
+
+    def pf_enc(key: int) -> int:
+        if pf_fr.get(key, 0):
+            return (key << 1) | 1
+        return (key - base_line) << 1
+
+    def pf_present(key: int, st: int) -> bool:
+        nonlocal pf_conflict
+        if pf_fr.setdefault(key, st) != st:
+            pf_conflict = True
+        present = pf_known.get(key)
+        if present is None:
+            present = key in pf_streams
+            pf_known[key] = present
+            checks.append((C_PF_AT, pf_enc(key), present))
+        return present
+
+    # Counter deltas (mirrors process_template's aggregate bookkeeping; the
+    # recording applies them to the real counters at commit and stores them
+    # in the entry for the apply path).
+    c_l1_da = c_l1_dh = c_l1_pp = c_l1_pph = c_l1_pf = 0
+    c_l2_da = c_l2_dh = 0
+    c_mem_rd = c_mem_wr = 0
+    c_pf_iss = c_pf_conf = c_pf_alloc = 0
+
+    def fill_l1(line: int, dirty: bool, st: int) -> None:
+        # A dirty L2 eviction triggered by the L1 writeback chain goes to
+        # DRAM (CacheHierarchy._fill_l1's l2_victim path).
+        nonlocal c_mem_wr
+        before = l2r.writebacks
+        l1r.install(line, dirty, l2r, st)
+        c_mem_wr += l2r.writebacks - before
+
+    def fill_l2(line: int, st: int) -> None:
+        nonlocal c_mem_wr
+        before = l2r.writebacks
+        l2r.install(line, False, None, st)
+        c_mem_wr += l2r.writebacks - before
+
+    # -- scoreboard walk (mirrors process_template) ------------------------
+    slot_of_get = SLOT_OF.get
+    slots = [0] * N_SLOTS
+    for key, val in ready.items():
+        idx = slot_of_get(key)
+        if idx is not None:
+            slots[idx] = val
+    pipes_by_id = [pipe._port_free[p] for p in program.ports]
+    pipes_assigned: set = set()
+    issue_width = cfg.issue_width
+    penalty = (
+        0,
+        0,
+        cfg.l2_load_latency - cfg.l1_load_latency,
+        cfg.mem_load_latency - cfg.l1_load_latency,
+    )
+    f0 = pipe._frontier
+    frontier = f0
+    cycle = pipe._cycle
+    issued = pipe._issued_this_cycle
+    max_done = 0
+
+    for dep_slots, write_slots, port_id, base_latency, ii, kind, memops in program.steps:
+        t = frontier
+        for s in dep_slots:
+            r = slots[s]
+            if r > t:
+                t = r
+
+        pipes = pipes_by_id[port_id]
+        if len(pipes) == 1:
+            pipe_idx = 0
+        elif len(pipes) == 2:
+            pipe_idx = 0 if pipes[0] <= pipes[1] else 1
+        else:
+            pipe_idx = min(range(len(pipes)), key=pipes.__getitem__)
+        if pipes[pipe_idx] > t:
+            t = pipes[pipe_idx]
+
+        if t > cycle:
+            cycle = t
+            issued = 0
+        if issued >= issue_width:
+            t = cycle + 1
+            cycle = t
+            issued = 0
+
+        latency = base_latency
+        if kind:
+            if kind == K_PRFM:
+                # Mirrors CacheHierarchy.software_prefetch.
+                addr_idx, length, wr = memops
+                st = 1 if static_addrs[addr_idx] else 0
+                addr = addrs[addr_idx]
+                first = addr // line_words
+                last = (addr + length - 1) // line_words
+                for line in range(first, last + 1):
+                    c_l1_pp += 1
+                    if l1r.contains(line, st):
+                        l1r.bump(line)
+                        c_l1_pph += 1
+                        continue
+                    if not l2r.contains(line, st):
+                        c_mem_rd += 1
+                        fill_l2(line, st)
+                    else:
+                        l2r.bump(line)
+                    fill_l1(line, wr, st)
+                    c_l1_pf += 1
+            else:
+                is_store = kind == K_STORE
+                worst = 1  # L1
+                for addr_idx, offset, nwords in memops:
+                    st = 1 if static_addrs[addr_idx] else 0
+                    addr = addrs[addr_idx] + offset
+                    first = addr // line_words
+                    last = (addr + nwords - 1) // line_words
+                    level = 1
+                    line = first
+                    while True:
+                        # Inlined _access_line / _access_line_miss.
+                        c_l1_da += 1
+                        if l1r.contains(line, st):
+                            l1r.bump(line)
+                            c_l1_dh += 1
+                            if is_store:
+                                l1r.set_dirty(line)
+                        else:
+                            c_l2_da += 1
+                            if l2r.contains(line, st):
+                                l2r.bump(line)
+                                c_l2_dh += 1
+                                fill_l1(line, is_store, st)
+                                if level < 2:
+                                    level = 2
+                            else:
+                                c_mem_rd += 1
+                                fill_l2(line, st)
+                                fill_l1(line, is_store, st)
+                                level = 3
+                        if line == last:
+                            break
+                        line += 1
+                    if pf_on:
+                        # Inlined StreamPrefetcher._observe_line.
+                        hit = level == 1
+                        line = first
+                        while True:
+                            if pf_present(line, st):
+                                pf_streams.move_to_end(line)
+                                pf_ops.append((PF_MOVE, pf_enc(line)))
+                                if line not in pf_moved:
+                                    pf_skip.append(line)
+                                    pf_moved.add(line)
+                            elif pf_present(line - 1, st):
+                                old = line - 1
+                                stream = pf_streams[old]
+                                if old not in pf_adv_known:
+                                    adv = stream.advances
+                                    checks.append(
+                                        (
+                                            C_PF_ADV,
+                                            pf_enc(old),
+                                            adv if adv < pf_confirm else -1,
+                                        )
+                                    )
+                                if old not in pf_moved:
+                                    pf_skip.append(old)
+                                del pf_streams[old]
+                                stream.advances += 1
+                                stream.tail_line = line
+                                pf_streams[line] = stream
+                                pf_ops.append((PF_ADVANCE, pf_enc(old)))
+                                pf_known[old] = False
+                                pf_moved.discard(old)
+                                pf_adv_known.discard(old)
+                                pf_known[line] = True
+                                pf_moved.add(line)
+                                pf_adv_known.add(line)
+                                if stream.advances == pf_confirm:
+                                    c_pf_conf += 1
+                                if stream.advances >= pf_confirm:
+                                    # Inlined _issue_ahead + hardware_prefetch.
+                                    # How far the issue window runs before the
+                                    # page boundary is the only base-phase
+                                    # dependence of the walk; record it as a
+                                    # relocatable check instead of keying on
+                                    # the phase.
+                                    avail = (
+                                        LINES_PER_PAGE - 1 - line % LINES_PER_PAGE
+                                    )
+                                    pe = pf_enc(line)
+                                    if pe not in page_req:
+                                        page_req[pe] = (
+                                            avail < pf_depth,
+                                            min(avail, pf_depth),
+                                        )
+                                    page = line // LINES_PER_PAGE
+                                    for target in range(line + 1, line + pf_depth + 1):
+                                        if target // LINES_PER_PAGE != page:
+                                            break
+                                        if not l1r.contains(target, st):
+                                            if l2r.contains(target, st):
+                                                l2r.bump(target)
+                                            else:
+                                                c_mem_rd += 1
+                                                fill_l2(target, st)
+                                            fill_l1(target, False, st)
+                                            c_l1_pf += 1
+                                        c_pf_iss += 1
+                            elif not hit:
+                                if pf_fr.setdefault(line, st) != st:
+                                    pf_conflict = True
+                                pf_streams[line] = _Stream(tail_line=line)
+                                pf_ops.append((PF_ALLOC, pf_enc(line)))
+                                pf_known[line] = True
+                                pf_moved.add(line)
+                                pf_adv_known.add(line)
+                                c_pf_alloc += 1
+                                if len(pf_streams) > pf_max:
+                                    if not pf_len_exact:
+                                        checks.append(
+                                            (C_PF_LEN, len(pf_streams) - 1 - pf_net)
+                                        )
+                                        pf_len_exact = True
+                                    victim = next(iter(pf_streams))
+                                    skip = tuple(pf_enc(k) for k in pf_skip)
+                                    if victim in pf_moved:
+                                        # Head fell through to a block-placed
+                                        # stream: the pre-state fact is that
+                                        # no unskipped pre stream remains.
+                                        checks.append((C_PF_HEAD, None, skip))
+                                    else:
+                                        pf_fr.setdefault(victim, 0)
+                                        checks.append(
+                                            (C_PF_HEAD, pf_enc(victim), skip)
+                                        )
+                                        pf_skip.append(victim)
+                                    pf_streams.popitem(last=False)
+                                    pf_ops.append((PF_POP,))
+                                    pf_known[victim] = False
+                                    pf_moved.discard(victim)
+                                    pf_adv_known.discard(victim)
+                                else:
+                                    pf_net += 1
+                                    if not pf_len_exact and pf_net > pf_room_need:
+                                        pf_room_need = pf_net
+                            if line == last:
+                                break
+                            line += 1
+                    if level > worst:
+                        worst = level
+                if not is_store:
+                    latency += penalty[worst]
+
+        pipes[pipe_idx] = t + ii
+        pipes_assigned.add((port_id, pipe_idx))
+        frontier = t
+        issued += 1
+        done = t + latency
+        for s in write_slots:
+            slots[s] = done
+        if done > max_done:
+            max_done = done
+
+    # -- commit (identical to process_template's exit) ---------------------
+    l1 = hierarchy.l1
+    l2 = hierarchy.l2
+    l1.stats.demand_accesses += c_l1_da
+    l1.stats.demand_hits += c_l1_dh
+    l1.stats.prefetch_probes += c_l1_pp
+    l1.stats.prefetch_probe_hits += c_l1_pph
+    l1.stats.prefetch_fills += c_l1_pf
+    l2.stats.demand_accesses += c_l2_da
+    l2.stats.demand_hits += c_l2_dh
+    hierarchy.mem_lines_read += c_mem_rd
+    hierarchy.mem_lines_written += c_mem_wr
+    pf.prefetches_issued += c_pf_iss
+    pf.streams_confirmed += c_pf_conf
+    pf.streams_allocated += c_pf_alloc
+
+    for i in range(N_SLOTS):
+        v = slots[i]
+        if v:
+            ready[SCOREBOARD_KEYS[i]] = v
+    pipe._frontier = frontier
+    pipe._cycle = cycle
+    pipe._issued_this_cycle = issued
+    if max_done > pipe.makespan:
+        pipe.makespan = max_done
+    pipe.instructions_retired += program.count
+    by_port = pipe.instructions_by_port
+    for port, n in program.port_counts.items():
+        by_port[port] += n
+    pipe.flops += program.flops
+    pipe.useful_flops += program.useful_flops
+    pipe.sw_prefetches += program.n_prfm
+
+    # -- entry -------------------------------------------------------------
+    if not pf_len_exact and pf_room_need > 0:
+        checks.append((C_PF_ROOM, pf_room_need))
+    for pe in sorted(page_req):
+        exact, m = page_req[pe]
+        checks.append((C_PG_AT if exact else C_PG_ROOM, pe, m))
+    entry = MemoEntry()
+    entry.l1_ticks, entry.l1_dels, entry.l1_dirty, entry.l1_bumps = l1r.finish()
+    entry.l2_ticks, entry.l2_dels, entry.l2_dirty, entry.l2_bumps = l2r.finish()
+    # Line-level frame aliasing guard: the per-line checks and transitions
+    # above decode moving and static operands independently, which is only
+    # exact while no static line coincides with a relocated moving line.
+    mov_rels: set = set()
+    stat_lines: set = set()
+    for frd in (l1r.fr, l2r.fr, pf_fr):
+        for ln, f in frd.items():
+            if f:
+                stat_lines.add(ln)
+            else:
+                mov_rels.add(ln - base_line)
+    if stat_lines and mov_rels:
+        checks.append((C_FR_DISJ, tuple(sorted(stat_lines)), frozenset(mov_rels)))
+    entry.checks = tuple(checks)
+    entry.pf_ops = tuple(pf_ops)
+    entry.counters = (
+        c_l1_da, c_l1_dh, c_l1_pp, c_l1_pph, c_l1_pf, l1r.writebacks,
+        c_l2_da, c_l2_dh, l2r.writebacks,
+        c_mem_rd, c_mem_wr, c_pf_iss, c_pf_conf, c_pf_alloc,
+    )
+    write_union: set = set()
+    for step in program.steps:
+        write_union.update(step[1])
+    entry.slots_out = tuple((s, slots[s] - f0) for s in sorted(write_union))
+    entry.pipes_out = tuple(
+        (pid, j, pipes_by_id[pid][j] - f0) for pid, j in sorted(pipes_assigned)
+    )
+    entry.frontier_rel = frontier - f0
+    entry.cycle_lag = frontier - cycle
+    entry.issued_out = issued
+    entry.max_done_rel = max_done - f0
+    entry.tainted = l1r.conflict or l2r.conflict or pf_conflict
+    entry.hits = 0
+    return entry
+
+
+def _checks_pass(checks: Tuple, base_line: int, pipe) -> bool:
+    """Evaluate an entry's observation set against the current pre-state."""
+    h = pipe.hierarchy
+    l1 = h.l1
+    l2 = h.l2
+    l1_sets = l1._sets
+    l2_sets = l2._sets
+    l1_ns = l1.num_sets
+    l2_ns = l2.num_sets
+    streams = pipe.prefetcher._streams
+    bases = (base_line, 0)
+    for c in checks:
+        op = c[0]
+        if op == C_L1_MEM:
+            e = c[1]
+            line = (e >> 1) + bases[e & 1]
+            if (line in l1_sets[line % l1_ns]) != c[2]:
+                return False
+        elif op == C_L2_MEM:
+            e = c[1]
+            line = (e >> 1) + bases[e & 1]
+            if (line in l2_sets[line % l2_ns]) != c[2]:
+                return False
+        elif op == C_PF_AT:
+            e = c[1]
+            if (((e >> 1) + bases[e & 1]) in streams) != c[2]:
+                return False
+        elif op == C_L1_MIN or op == C_L2_MIN:
+            e = c[1]
+            line = (e >> 1) + bases[e & 1]
+            if op == C_L1_MIN:
+                ways = l1_sets[line % l1_ns]
+            else:
+                ways = l2_sets[line % l2_ns]
+            excl = c[2]
+            ev = c[3]
+            victim = (ev >> 1) + bases[ev & 1]
+            best = None
+            best_tick = 0
+            for ln, tk in ways.items():
+                if best is None or tk < best_tick:
+                    if ((ln - base_line) << 1) in excl or ((ln << 1) | 1) in excl:
+                        continue
+                    best = ln
+                    best_tick = tk
+            if best != victim:
+                return False
+        elif op == C_L1_ROOM:
+            e = c[1]
+            line = (e >> 1) + bases[e & 1]
+            if len(l1_sets[line % l1_ns]) + c[2] > l1.assoc:
+                return False
+        elif op == C_L2_ROOM:
+            e = c[1]
+            line = (e >> 1) + bases[e & 1]
+            if len(l2_sets[line % l2_ns]) + c[2] > l2.assoc:
+                return False
+        elif op == C_L1_LEN:
+            e = c[1]
+            line = (e >> 1) + bases[e & 1]
+            if len(l1_sets[line % l1_ns]) != c[2]:
+                return False
+        elif op == C_L2_LEN:
+            e = c[1]
+            line = (e >> 1) + bases[e & 1]
+            if len(l2_sets[line % l2_ns]) != c[2]:
+                return False
+        elif op == C_L1_DIRTY:
+            e = c[1]
+            if (((e >> 1) + bases[e & 1]) in l1._dirty) != c[2]:
+                return False
+        elif op == C_L2_DIRTY:
+            e = c[1]
+            if (((e >> 1) + bases[e & 1]) in l2._dirty) != c[2]:
+                return False
+        elif op == C_PF_ADV:
+            e = c[1]
+            s = streams.get((e >> 1) + bases[e & 1])
+            if s is None:
+                return False
+            n = c[2]
+            if n < 0:
+                if s.advances < pipe.prefetcher.confirm_advances:
+                    return False
+            elif s.advances != n:
+                return False
+        elif op == C_PF_LEN:
+            if len(streams) != c[1]:
+                return False
+        elif op == C_PF_ROOM:
+            if len(streams) + c[1] > pipe.prefetcher.num_streams:
+                return False
+        elif op == C_PG_ROOM:
+            e = c[1]
+            line = (e >> 1) + bases[e & 1]
+            if LINES_PER_PAGE - 1 - line % LINES_PER_PAGE < c[2]:
+                return False
+        elif op == C_PG_AT:
+            e = c[1]
+            line = (e >> 1) + bases[e & 1]
+            if LINES_PER_PAGE - 1 - line % LINES_PER_PAGE != c[2]:
+                return False
+        elif op == C_PF_HEAD:
+            ev = c[1]
+            skip = c[2]
+            head = None
+            for k in streams:
+                if ((k - base_line) << 1) in skip or ((k << 1) | 1) in skip:
+                    continue
+                head = k
+                break
+            if ev is None:
+                if head is not None:
+                    return False
+            elif head != (ev >> 1) + bases[ev & 1]:
+                return False
+        elif op == C_L1_XCOLL:
+            if (base_line + c[1]) % l1_ns != c[2]:
+                return False
+        elif op == C_L2_XCOLL:
+            if (base_line + c[1]) % l2_ns != c[2]:
+                return False
+        elif op == C_L1_XDISJ:
+            idxs = c[2]
+            for r in c[1]:
+                if (base_line + r) % l1_ns in idxs:
+                    return False
+        elif op == C_L2_XDISJ:
+            idxs = c[2]
+            for r in c[1]:
+                if (base_line + r) % l2_ns in idxs:
+                    return False
+        else:  # C_FR_DISJ
+            mov = c[2]
+            for s_line in c[1]:
+                if (s_line - base_line) in mov:
+                    return False
+    return True
+
+
+def _apply(entry: MemoEntry, pipe, program: TimingProgram, base_line: int) -> None:
+    """Apply a verified entry's transitions — no replay."""
+    h = pipe.hierarchy
+    l1 = h.l1
+    l2 = h.l2
+    bases = (base_line, 0)
+
+    t0 = l1._tick
+    sets = l1._sets
+    ns = l1.num_sets
+    for e, k in entry.l1_ticks:
+        line = (e >> 1) + bases[e & 1]
+        sets[line % ns][line] = t0 + k
+    l1._tick = t0 + entry.l1_bumps
+    dirty = l1._dirty
+    for e in entry.l1_dels:
+        line = (e >> 1) + bases[e & 1]
+        del sets[line % ns][line]
+        dirty.discard(line)
+    for e, bit in entry.l1_dirty:
+        line = (e >> 1) + bases[e & 1]
+        if bit:
+            dirty.add(line)
+        else:
+            dirty.discard(line)
+
+    t0 = l2._tick
+    sets = l2._sets
+    ns = l2.num_sets
+    for e, k in entry.l2_ticks:
+        line = (e >> 1) + bases[e & 1]
+        sets[line % ns][line] = t0 + k
+    l2._tick = t0 + entry.l2_bumps
+    dirty = l2._dirty
+    for e in entry.l2_dels:
+        line = (e >> 1) + bases[e & 1]
+        del sets[line % ns][line]
+        dirty.discard(line)
+    for e, bit in entry.l2_dirty:
+        line = (e >> 1) + bases[e & 1]
+        if bit:
+            dirty.add(line)
+        else:
+            dirty.discard(line)
+
+    pf = pipe.prefetcher
+    streams = pf._streams
+    for op in entry.pf_ops:
+        code = op[0]
+        if code == PF_MOVE:
+            e = op[1]
+            streams.move_to_end((e >> 1) + bases[e & 1])
+        elif code == PF_ADVANCE:
+            e = op[1]
+            old = (e >> 1) + bases[e & 1]
+            s = streams.pop(old)
+            s.advances += 1
+            s.tail_line = old + 1
+            streams[old + 1] = s
+        elif code == PF_ALLOC:
+            e = op[1]
+            line = (e >> 1) + bases[e & 1]
+            streams[line] = _Stream(tail_line=line)
+        else:
+            streams.popitem(last=False)
+
+    (
+        c_l1_da, c_l1_dh, c_l1_pp, c_l1_pph, c_l1_pf, c_l1_wb,
+        c_l2_da, c_l2_dh, c_l2_wb,
+        c_mem_rd, c_mem_wr, c_pf_iss, c_pf_conf, c_pf_alloc,
+    ) = entry.counters
+    l1.stats.demand_accesses += c_l1_da
+    l1.stats.demand_hits += c_l1_dh
+    l1.stats.prefetch_probes += c_l1_pp
+    l1.stats.prefetch_probe_hits += c_l1_pph
+    l1.stats.prefetch_fills += c_l1_pf
+    l1.stats.writebacks += c_l1_wb
+    l2.stats.demand_accesses += c_l2_da
+    l2.stats.demand_hits += c_l2_dh
+    l2.stats.writebacks += c_l2_wb
+    h.mem_lines_read += c_mem_rd
+    h.mem_lines_written += c_mem_wr
+    pf.prefetches_issued += c_pf_iss
+    pf.streams_confirmed += c_pf_conf
+    pf.streams_allocated += c_pf_alloc
+
+    f0 = pipe._frontier
+    ready = pipe._ready
+    keys = SCOREBOARD_KEYS
+    for s, rel in entry.slots_out:
+        ready[keys[s]] = f0 + rel
+    ports = program.ports
+    port_free = pipe._port_free
+    for pid, j, rel in entry.pipes_out:
+        port_free[ports[pid]][j] = f0 + rel
+    pipe._frontier = f0 + entry.frontier_rel
+    pipe._cycle = pipe._frontier - entry.cycle_lag
+    pipe._issued_this_cycle = entry.issued_out
+    done = f0 + entry.max_done_rel
+    if done > pipe.makespan:
+        pipe.makespan = done
+    pipe.instructions_retired += program.count
+    by_port = pipe.instructions_by_port
+    for port, n in program.port_counts.items():
+        by_port[port] += n
+    pipe.flops += program.flops
+    pipe.useful_flops += program.useful_flops
+    pipe.sw_prefetches += program.n_prfm
+
+
+def _pipes_key(vals: List[int], f0: int) -> Tuple[int, ...]:
+    """Port-pipe context: exact offsets past the frontier, rank order below.
+
+    Pipes still busy past the entry frontier matter exactly (they can stall
+    issue), so they key by offset.  Pipes at or before the frontier can
+    never stall, but their *relative order* (including ties) still decides
+    which pipe the least-loaded choice picks, so they key by dense rank,
+    encoded negatively to stay disjoint from the offsets.
+    """
+    n = len(vals)
+    if n == 1:
+        p = vals[0]
+        return ((p - f0) if p > f0 else -1,)
+    stale = sorted({p for p in vals if p <= f0})
+    return tuple((p - f0) if p > f0 else stale.index(p) - n for p in vals)
+
+
+class TimingMemo:
+    """Per-run memo table: (program, context signature) -> recorded replay.
+
+    One instance serves one :class:`~repro.machine.pipeline.PipelineModel`
+    (warm and measured passes share it, which is where much of the reuse
+    comes from).  Programs whose probe re-simulation ever disagrees with a
+    stored entry are demoted permanently to the plain replay loop.
+    """
+
+    #: Every Nth hit of an entry re-simulates and compares (verify-or-demote).
+    probe_interval = 64
+    #: Distinct recorded contexts kept per (program, signature) bucket.
+    max_candidates = 8
+
+    def __init__(self, config) -> None:
+        # Cache-set collisions are translation-invariant within a frame
+        # (two moving lines share a set iff their rels are congruent mod
+        # num_sets, whatever the base), so the only base dependence in the
+        # key is the line-split phase; page-boundary and cross-frame
+        # effects are handled by relocatable checks.
+        line_words = config.l1.line_bytes // 8
+        self._align_words = line_words
+        self._line_words = line_words
+        self._tables: Dict[TimingProgram, Dict] = {}
+        self._live_keys: Dict[TimingProgram, Tuple] = {}
+        self._demoted: set = set()
+        self.hits = 0
+        self.misses = 0
+        self.probes = 0
+        self.demotions = 0
+
+    # ------------------------------------------------------------------
+
+    def _program_live_keys(self, program: TimingProgram) -> Tuple:
+        live = self._live_keys.get(program)
+        if live is None:
+            dep_union: set = set()
+            for step in program.steps:
+                dep_union.update(step[0])
+            live = tuple(SCOREBOARD_KEYS[s] for s in sorted(dep_union))
+            self._live_keys[program] = live
+        return live
+
+    def replay(self, pipe, program: TimingProgram, template, addrs: Sequence[int]) -> None:
+        """Replay a template block through the memo (or the plain loop)."""
+        if program in self._demoted or template.nonuniform_dims:
+            # Non-two-frame-clean templates shift their addresses relative
+            # to each other from block to block; their recorded contexts
+            # never recur, so recording them is pure overhead.
+            pipe.process_template(program, addrs)
+            return
+        base = addrs[template.base_addr_idx] if addrs else 0
+        base_line = base // self._line_words
+
+        live_keys = self._program_live_keys(program)
+        f0 = pipe._frontier
+        rg = pipe._ready.get
+        sb = tuple((v - f0) if (v := rg(k, 0)) > f0 else 0 for k in live_keys)
+        port_free = pipe._port_free
+        pipes_sig = tuple(_pipes_key(port_free[port], f0) for port in program.ports)
+        key = (
+            base % self._align_words,
+            # Page phase: where previous blocks' hardware prefetch windows
+            # broke against page boundaries shapes the stream tails and
+            # prefetched-ahead lines this block *inherits*, so entry state
+            # only recurs at equal phase (the block's own window breaks are
+            # pinned by C_PG_* checks instead and need no key part).
+            base_line % LINES_PER_PAGE,
+            sb,
+            pipes_sig,
+            f0 - pipe._cycle,
+            pipe._issued_this_cycle,
+        )
+
+        buckets = self._tables.get(program)
+        if buckets is None:
+            buckets = {}
+            self._tables[program] = buckets
+        cands = buckets.get(key)
+        if cands:
+            for entry in cands:
+                if _checks_pass(entry.checks, base_line, pipe):
+                    entry.hits += 1
+                    if entry.hits % self.probe_interval == 0:
+                        self.probes += 1
+                        fresh = _record(
+                            pipe, program, addrs, base_line, template.static_addrs
+                        )
+                        if fresh.signature() != entry.signature():
+                            self._demote(program)
+                        return
+                    self.hits += 1
+                    _apply(entry, pipe, program, base_line)
+                    return
+        self.misses += 1
+        if cands is None:
+            # First sighting of this context: contexts that never recur
+            # (cold ramp, pass boundaries) vastly outnumber the steady
+            # state, so pay the instrumented-recording cost only once a
+            # context proves it repeats (the empty list marks "seen once").
+            buckets[key] = []
+            pipe.process_template(program, addrs)
+            return
+        if len(cands) >= self.max_candidates:
+            pipe.process_template(program, addrs)
+            return
+        entry = _record(pipe, program, addrs, base_line, template.static_addrs)
+        if not entry.tainted:
+            cands.append(entry)
+
+    def _demote(self, program: TimingProgram) -> None:
+        self._demoted.add(program)
+        self._tables.pop(program, None)
+        self._live_keys.pop(program, None)
+        self.demotions += 1

@@ -371,6 +371,53 @@ class PipelineModel:
         self.useful_flops += program.useful_flops
         self.sw_prefetches += program.n_prfm
 
+    def state_signature(self) -> tuple:
+        """Canonical behavioural state of the whole machine model.
+
+        Everything a future instruction sequence can observe, normalized so
+        that states reached at different absolute cycles compare equal:
+
+        * scoreboard entries and port frontiers relative to the in-order
+          frontier (values at or below it are dead — they can never raise a
+          future issue cycle — and are dropped/clamped);
+        * per-class port pipes as a sorted multiset (pipes within a class
+          are interchangeable: the argmin pipe choice always picks the same
+          *value* under permutation and preserves the multiset);
+        * issue-width bookkeeping and the makespan overhang;
+        * cache tags + LRU order + dirty bits, and the prefetcher stream
+          table (see their ``state_signature`` methods).
+
+        Counters are deliberately excluded: they never feed back into
+        behaviour.  Equal signatures therefore guarantee that identical
+        input traces produce identical counter *deltas* from here on — the
+        foundation of the pass-level memoization in
+        :class:`~repro.machine.timing.TimingEngine`.
+        """
+        f = self._frontier
+        ports = tuple(
+            (str(port), tuple(sorted(max(v - f, 0) for v in pipes)))
+            for port, pipes in sorted(
+                self._port_free.items(), key=lambda kv: str(kv[0])
+            )
+        )
+        ready = tuple(
+            sorted((str(k), v - f) for k, v in self._ready.items() if v > f)
+        )
+        core = (
+            ports,
+            ready,
+            self._cycle - f,
+            self._issued_this_cycle,
+            max(self.makespan - f, 0),
+        )
+        h = self.hierarchy
+        return (
+            core,
+            h.l1.state_signature(),
+            h.l2.state_signature(),
+            self.prefetcher.state_signature(),
+        )
+
     def _miss_penalty(self, level: int) -> int:
         cfg = self.config
         if level == L1:

@@ -121,6 +121,16 @@ class StreamPrefetcher:
     def active_streams(self) -> int:
         return len(self._streams)
 
+    def state_signature(self) -> tuple:
+        """Canonical stream-table state: (tail line, advances) in LRU order.
+
+        Table order is part of the signature because eviction pops the
+        least-recently-used entry.  Advance counts saturate behaviourally at
+        ``confirm_advances`` (everything past confirmation acts the same),
+        but the exact count is kept so equality stays trivially sound.
+        """
+        return tuple((line, s.advances) for line, s in self._streams.items())
+
     def reset_stats(self) -> None:
         self.prefetches_issued = 0
         self.streams_confirmed = 0

@@ -53,6 +53,37 @@ def default_engine() -> str:
     return os.environ.get("REPRO_ENGINE", "compiled")
 
 
+def _add_scaled(base: PerfCounters, delta: PerfCounters, n: int) -> PerfCounters:
+    """``base + n * delta``, exact on every counter field.
+
+    All counters are integers (cycles is an integer-valued float), so the
+    integer multiply-add is bit-exact — this is what lets the pass-level
+    fixed-point skip reproduce a fully simulated run to the last counter.
+    """
+    out = PerfCounters()
+    out.cycles = base.cycles + delta.cycles * n
+    out.instructions = base.instructions + delta.instructions * n
+    out.instructions_by_port = {
+        k: base.instructions_by_port.get(k, 0) + delta.instructions_by_port.get(k, 0) * n
+        for k in set(base.instructions_by_port) | set(delta.instructions_by_port)
+    }
+    out.flops = base.flops + delta.flops * n
+    out.useful_flops = base.useful_flops + delta.useful_flops * n
+    out.l1_accesses = base.l1_accesses + delta.l1_accesses * n
+    out.l1_hits = base.l1_hits + delta.l1_hits * n
+    out.l1_demand_accesses = base.l1_demand_accesses + delta.l1_demand_accesses * n
+    out.l1_demand_hits = base.l1_demand_hits + delta.l1_demand_hits * n
+    out.l1_prefetch_fills = base.l1_prefetch_fills + delta.l1_prefetch_fills * n
+    out.l2_accesses = base.l2_accesses + delta.l2_accesses * n
+    out.l2_hits = base.l2_hits + delta.l2_hits * n
+    out.dram_lines_read = base.dram_lines_read + delta.dram_lines_read * n
+    out.dram_lines_written = base.dram_lines_written + delta.dram_lines_written * n
+    out.sw_prefetches = base.sw_prefetches + delta.sw_prefetches * n
+    out.hw_prefetches = base.hw_prefetches + delta.hw_prefetches * n
+    out.line_bytes = base.line_bytes
+    return out
+
+
 class TimingEngine:
     """Produces :class:`PerfCounters` for kernels and raw traces.
 
@@ -83,9 +114,11 @@ class TimingEngine:
             return lambda block: pipe.process_trace(kernel.emit(block))
 
         from repro.kernels.template import TraceCompiler
+        from repro.machine.memo import TimingMemo, memo_enabled
 
         compiler = TraceCompiler(kernel)
         config = self.config
+        memo = TimingMemo(config) if memo_enabled() else None
 
         def run_block(block: KernelBlock) -> None:
             entry = compiler.lookup(block)
@@ -93,7 +126,10 @@ class TimingEngine:
                 template, addrs = entry
                 program = template.timing_program(config)
                 if program is not None:
-                    pipe.process_template(program, addrs)
+                    if memo is not None:
+                        memo.replay(pipe, program, template, addrs)
+                    else:
+                        pipe.process_template(program, addrs)
                     return
             pipe.process_trace(kernel.emit(block))
 
@@ -117,45 +153,86 @@ class TimingEngine:
         sample: Optional[bool] = None,
         warm: bool = True,
         plan: Optional[SamplePlan] = None,
+        iters: int = 1,
     ) -> PerfCounters:
         """Time a kernel; returns full-grid counters.
 
         ``sample=None`` picks automatically: grids with more than
         :data:`FULL_SIM_POINT_LIMIT` output points are band-sampled.
         ``warm`` only affects full simulations (one unmeasured pass first).
+        ``iters`` repeats the measured pass, hardware-benchmark style: the
+        returned counters sum all measured passes and ``points`` scales
+        with ``iters``, so per-point metrics are the per-pass average.
         """
+        if iters < 1:
+            raise ValueError(f"iters must be >= 1, got {iters}")
         nest = kernel.loop_nest()
         total_points = nest.total_points()
         if sample is None:
             sample = total_points > FULL_SIM_POINT_LIMIT
 
         if not sample:
-            counters = self._run_full(kernel, warm=warm)
+            counters = self._run_full(kernel, warm=warm, iters=iters)
         else:
+            if iters != 1:
+                raise ValueError("iters is only supported for full (unsampled) runs")
             counters = self._run_sampled(kernel, plan or SamplePlan())
         counters.label = label or kernel.name
         return counters
 
     # ------------------------------------------------------------------
 
-    def _run_full(self, kernel: Kernel, warm: bool) -> PerfCounters:
+    def _run_full(self, kernel: Kernel, warm: bool, iters: int = 1) -> PerfCounters:
         pipe = PipelineModel(self.config)
         nest = kernel.loop_nest()
         run_block = self._block_runner(kernel, pipe)
-        if warm:
+
+        def one_pass() -> None:
             pipe.process_trace(kernel.preamble())
             for block in nest:
                 run_block(block)
+
+        if warm:
+            one_pass()
             before = pipe.snapshot()
         else:
             before = None
-        pipe.process_trace(kernel.preamble())
-        for block in nest:
-            run_block(block)
-        counters = pipe.snapshot()
+
+        # Pass-level fixed-point memoization (compiled engine only): the
+        # machine model is a deterministic function of its behavioural
+        # state, and each measured pass replays the exact same trace, so
+        # the moment the state signature at a pass boundary *recurs* the
+        # remaining passes are provably identical — their counter deltas
+        # are applied arithmetically instead of being re-simulated.  The
+        # reference engine always walks every pass.
+        use_skip = False
+        if iters > 1 and self.engine == "compiled":
+            from repro.machine.memo import pass_memo_enabled
+
+            use_skip = pass_memo_enabled()
+
+        prev_sig = pipe.state_signature() if use_skip else None
+        prev_snap = before if before is not None else pipe.snapshot()
+        counters: Optional[PerfCounters] = None
+        for done_passes in range(1, iters + 1):
+            one_pass()
+            if not use_skip:
+                continue
+            snap = pipe.snapshot()
+            sig = pipe.state_signature()
+            if sig == prev_sig:
+                # The pass just run mapped the state onto itself: every
+                # remaining pass repeats its delta exactly.
+                delta = PipelineModel.delta(snap, prev_snap)
+                counters = _add_scaled(snap, delta, iters - done_passes)
+                break
+            prev_sig = sig
+            prev_snap = snap
+        if counters is None:
+            counters = pipe.snapshot()
         if before is not None:
             counters = PipelineModel.delta(counters, before)
-        counters.points = nest.total_points()
+        counters.points = nest.total_points() * iters
         return counters
 
     def _run_sampled(self, kernel: Kernel, plan: SamplePlan) -> PerfCounters:

@@ -1,0 +1,218 @@
+"""Lockstep batched functional replay: safety analysis and fallbacks."""
+
+import numpy as np
+import pytest
+
+from repro.isa.registers import SVL_LANES
+from repro.kernels.base import KernelOptions
+from repro.kernels.registry import make_kernel
+from repro.machine.batched import (
+    MIN_BATCH,
+    BatchPlan,
+    BatchReplayer,
+    analyze_program,
+)
+from repro.machine.compiled import (
+    F_FMLA,
+    F_LD,
+    F_ST,
+    F_ZERO,
+    FunctionalProgram,
+)
+from repro.machine.config import LX2
+from repro.machine.functional import FunctionalEngine
+from repro.machine.memory import MemorySpace
+from repro.stencils.grid import Grid2D
+from repro.stencils.library import benchmark
+from repro.stencils.reference import apply_reference
+
+
+def _setup(n=64, stencil="box2d25p", method="auto", seed=7):
+    mem = MemorySpace()
+    spec = benchmark(stencil)
+    src = Grid2D(mem, n, n, spec.radius, "A", fill="random", seed=seed)
+    dst = Grid2D(mem, n, n, spec.radius, "B")
+    kernel = make_kernel(method, spec, src, dst, LX2(), KernelOptions())
+    return mem, src, dst, kernel, spec
+
+
+# ---------------------------------------------------------------------------
+# Static register-independence analysis.
+# ---------------------------------------------------------------------------
+
+
+def test_analyze_accepts_load_compute_store():
+    program = FunctionalProgram(
+        ops=(
+            (F_LD, 0, 0),
+            (F_LD, 1, 1),
+            (F_FMLA, 0, 1, 1),  # dst v0 already fully written: not live-in
+            (F_ST, 0, 2, SVL_LANES),
+        ),
+        count=4,
+        n_addrs=3,
+    )
+    plan = analyze_program(program)
+    assert plan.batchable
+    assert plan.loads == ((0, SVL_LANES, 1), (1, SVL_LANES, 1))
+    assert plan.stores == ((2, SVL_LANES),)
+
+
+def test_analyze_rejects_cross_block_accumulator():
+    # v0 is read (accumulated into) before any write: its value flows from
+    # block to block, so lockstep execution would diverge.
+    program = FunctionalProgram(
+        ops=(
+            (F_LD, 1, 0),
+            (F_FMLA, 0, 1, 1),
+            (F_ST, 0, 1, SVL_LANES),
+        ),
+        count=3,
+        n_addrs=2,
+    )
+    assert not analyze_program(program).batchable
+
+
+def test_analyze_rejects_unknown_opcode():
+    program = FunctionalProgram(ops=((999, 0, 0),), count=1, n_addrs=1)
+    plan = analyze_program(program)
+    assert not plan.batchable
+    assert plan.loads == () and plan.stores == ()
+
+
+def test_analyze_tracks_tile_zero_then_use():
+    program = FunctionalProgram(
+        ops=((F_ZERO, 0), (F_LD, 0, 0), (F_ST, 0, 1, SVL_LANES)),
+        count=3,
+        n_addrs=2,
+    )
+    assert analyze_program(program).batchable
+
+
+# ---------------------------------------------------------------------------
+# Dynamic fallbacks of BatchReplayer.run.
+# ---------------------------------------------------------------------------
+
+
+def _copy_program():
+    """ld v0 <- addrs[0]; st addrs[1] <- v0 (a one-vector memcpy)."""
+    return FunctionalProgram(
+        ops=((F_LD, 0, 0), (F_ST, 0, 1, SVL_LANES)),
+        count=2,
+        n_addrs=2,
+    )
+
+
+def _mem_with_data(nblocks):
+    mem = MemorySpace()
+    src = mem.alloc(nblocks * SVL_LANES, "src")
+    dst = mem.alloc(nblocks * SVL_LANES, "dst")
+    data = np.arange(nblocks * SVL_LANES, dtype=np.float64) + 1.0
+    mem.write_array(src, data)
+    mem.write_array(dst, np.zeros(nblocks * SVL_LANES))
+    return mem, src, dst, data
+
+
+def test_small_runs_stay_sequential():
+    nblocks = MIN_BATCH - 1
+    mem, src, dst, data = _mem_with_data(nblocks)
+    replayer = BatchReplayer(FunctionalEngine(mem))
+    addrs = [(src + k * SVL_LANES, dst + k * SVL_LANES) for k in range(nblocks)]
+    replayer.run(_copy_program(), addrs)
+    assert replayer.sequential_blocks == nblocks
+    assert replayer.batched_blocks == 0
+    assert np.array_equal(mem.read(dst, nblocks * SVL_LANES), data)
+
+
+def test_large_runs_batch():
+    nblocks = MIN_BATCH + 4
+    mem, src, dst, data = _mem_with_data(nblocks)
+    engine = FunctionalEngine(mem)
+    replayer = BatchReplayer(engine)
+    addrs = [(src + k * SVL_LANES, dst + k * SVL_LANES) for k in range(nblocks)]
+    replayer.run(_copy_program(), addrs)
+    assert replayer.batched_blocks == nblocks
+    assert replayer.sequential_blocks == 0
+    assert np.array_equal(mem.read(dst, nblocks * SVL_LANES), data)
+    assert engine.instructions_executed == 2 * nblocks
+    # Architectural registers end exactly as the sequential walk would:
+    # holding the last block's loaded vector.
+    assert np.array_equal(engine.regs._vregs[0], data[-SVL_LANES:])
+
+
+def test_store_overlap_falls_back_to_sequential():
+    nblocks = MIN_BATCH + 2
+    mem, src, dst, data = _mem_with_data(nblocks)
+    replayer = BatchReplayer(FunctionalEngine(mem))
+    addrs = [(src + k * SVL_LANES, dst + k * SVL_LANES) for k in range(nblocks)]
+    addrs[-1] = (addrs[-1][0], addrs[0][1])  # two blocks store the same words
+    replayer.run(_copy_program(), addrs)
+    assert replayer.batched_blocks == 0
+    assert replayer.sequential_blocks == nblocks
+    # Sequential semantics: the later store wins.
+    assert np.array_equal(mem.read(dst, SVL_LANES), data[-SVL_LANES:])
+
+
+def test_load_of_stored_word_falls_back_to_sequential():
+    nblocks = MIN_BATCH + 2
+    mem, src, dst, data = _mem_with_data(nblocks)
+    replayer = BatchReplayer(FunctionalEngine(mem))
+    addrs = [(src + k * SVL_LANES, dst + k * SVL_LANES) for k in range(nblocks)]
+    # The last block reads what the first block wrote: a cross-block flow
+    # through memory that lockstep execution would miss.
+    addrs[-1] = (addrs[0][1], addrs[-1][1])
+    replayer.run(_copy_program(), addrs)
+    assert replayer.batched_blocks == 0
+    assert replayer.sequential_blocks == nblocks
+    assert np.array_equal(
+        mem.read(dst + (nblocks - 1) * SVL_LANES, SVL_LANES), data[:SVL_LANES]
+    )
+
+
+def test_out_of_bounds_falls_back_to_sequential():
+    nblocks = MIN_BATCH
+    mem, src, dst, _ = _mem_with_data(nblocks)
+    replayer = BatchReplayer(FunctionalEngine(mem))
+    addrs = [(src + k * SVL_LANES, dst + k * SVL_LANES) for k in range(nblocks)]
+    addrs[-1] = (addrs[-1][0], mem._next + 100)  # store past the frontier
+    with pytest.raises(ValueError):
+        replayer.run(_copy_program(), addrs)
+    assert replayer.batched_blocks == 0  # the batch path refused the run
+
+
+# ---------------------------------------------------------------------------
+# End-to-end: a kernel run through the batched compiled path matches the
+# reference walk bit-for-bit and actually batches its interior.
+# ---------------------------------------------------------------------------
+
+
+def test_kernel_batched_replay_is_bit_identical(monkeypatch):
+    import repro.machine.batched as batched_mod
+
+    replayers = []
+    real = batched_mod.BatchReplayer
+
+    class Spy(real):
+        def __init__(self, engine):
+            super().__init__(engine)
+            replayers.append(self)
+
+    monkeypatch.setattr(batched_mod, "BatchReplayer", Spy)
+
+    mem, src, dst, kernel, spec = _setup()
+    compiled_engine = FunctionalEngine(mem)
+    compiled_engine.run_kernel(kernel, engine="compiled")
+    compiled_grid = dst.get_interior().copy()
+
+    mem2, src2, dst2, kernel2, _ = _setup()
+    reference_engine = FunctionalEngine(mem2)
+    reference_engine.run_kernel(kernel2, engine="reference")
+    reference_grid = dst2.get_interior().copy()
+
+    assert np.array_equal(compiled_grid, reference_grid)
+    assert compiled_engine.instructions_executed == reference_engine.instructions_executed
+    (replayer,) = replayers
+    assert replayer.batched_blocks > 0
+    # And both agree with the NumPy stencil reference (to tolerance).
+    expected = apply_reference(src.get_full(), spec)
+    np.testing.assert_allclose(compiled_grid, expected, rtol=1e-12, atol=1e-12)

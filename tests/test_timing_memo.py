@@ -1,0 +1,236 @@
+"""Engine selection, REPRO_MEMO modes, iterated runs and memo demotion."""
+
+import pytest
+
+from repro.bench.runner import ExperimentRunner
+from repro.kernels.base import KernelOptions
+from repro.kernels.registry import make_kernel
+from repro.machine import memo as memo_mod
+from repro.machine.config import LX2
+from repro.machine.functional import FunctionalEngine
+from repro.machine.memory import MemorySpace
+from repro.machine.pipeline import PipelineModel
+from repro.machine.timing import TimingEngine, default_engine
+from repro.stencils.grid import Grid2D
+from repro.stencils.library import benchmark
+
+
+def _kernel(n=64, stencil="star2d5p", method="hstencil", seed=0):
+    mem = MemorySpace()
+    spec = benchmark(stencil)
+    src = Grid2D(mem, n, n, spec.radius, "A", fill="random", seed=seed)
+    dst = Grid2D(mem, n, n, spec.radius, "B")
+    kernel = make_kernel(method, spec, src, dst, LX2(), KernelOptions())
+    return mem, kernel
+
+
+# ---------------------------------------------------------------------------
+# Engine selection precedence: explicit kwarg > REPRO_ENGINE env > default.
+# ---------------------------------------------------------------------------
+
+
+def test_default_engine_env(monkeypatch):
+    monkeypatch.delenv("REPRO_ENGINE", raising=False)
+    assert default_engine() == "compiled"
+    monkeypatch.setenv("REPRO_ENGINE", "reference")
+    assert default_engine() == "reference"
+
+
+def test_timing_engine_precedence(monkeypatch):
+    monkeypatch.setenv("REPRO_ENGINE", "reference")
+    assert TimingEngine(LX2()).engine == "reference"
+    # An explicit kwarg always beats the environment.
+    assert TimingEngine(LX2(), engine="compiled").engine == "compiled"
+    monkeypatch.delenv("REPRO_ENGINE", raising=False)
+    assert TimingEngine(LX2()).engine == "compiled"
+    with pytest.raises(ValueError):
+        TimingEngine(LX2(), engine="bogus")
+
+
+def test_experiment_runner_threads_engine(monkeypatch):
+    monkeypatch.setenv("REPRO_ENGINE", "reference")
+    assert ExperimentRunner(LX2()).engine.engine == "reference"
+    assert ExperimentRunner(LX2(), engine="compiled").engine.engine == "compiled"
+
+
+def test_run_kernel_precedence(monkeypatch):
+    """run_kernel: explicit engine kwarg wins over REPRO_ENGINE."""
+    import repro.machine.batched as batched_mod
+
+    created = []
+    real = batched_mod.BatchReplayer
+
+    class Spy(real):
+        def __init__(self, engine):
+            super().__init__(engine)
+            created.append(self)
+
+    monkeypatch.setattr(batched_mod, "BatchReplayer", Spy)
+
+    # env says reference, kwarg says compiled: the compiled path (which
+    # constructs a BatchReplayer) must run.
+    monkeypatch.setenv("REPRO_ENGINE", "reference")
+    mem, kernel = _kernel(n=32)
+    FunctionalEngine(mem).run_kernel(kernel, engine="compiled")
+    assert len(created) == 1
+
+    # env says compiled, kwarg says reference: no replayer.
+    monkeypatch.setenv("REPRO_ENGINE", "compiled")
+    mem, kernel = _kernel(n=32)
+    FunctionalEngine(mem).run_kernel(kernel, engine="reference")
+    assert len(created) == 1
+
+    # No kwarg: the environment decides.
+    monkeypatch.setenv("REPRO_ENGINE", "compiled")
+    mem, kernel = _kernel(n=32)
+    FunctionalEngine(mem).run_kernel(kernel)
+    assert len(created) == 2
+
+    with pytest.raises(ValueError):
+        FunctionalEngine(MemorySpace()).run_kernel(kernel, engine="bogus")
+
+
+# ---------------------------------------------------------------------------
+# REPRO_MEMO mode parsing and gates.
+# ---------------------------------------------------------------------------
+
+
+def test_memo_mode_default_and_aliases(monkeypatch):
+    monkeypatch.delenv("REPRO_MEMO", raising=False)
+    assert memo_mod.memo_mode() == "pass"
+    for raw, mode in [
+        ("off", "off"), ("0", "off"), ("false", "off"),
+        ("block", "block"), ("pass", "pass"), ("PASS", "pass"),
+        ("full", "full"), ("1", "full"), ("on", "full"), ("true", "full"),
+    ]:
+        monkeypatch.setenv("REPRO_MEMO", raw)
+        assert memo_mod.memo_mode() == mode, raw
+    monkeypatch.setenv("REPRO_MEMO", "sometimes")
+    with pytest.raises(ValueError):
+        memo_mod.memo_mode()
+
+
+def test_memo_gates(monkeypatch):
+    expectations = {
+        "off": (False, False),
+        "block": (True, False),
+        "pass": (False, True),
+        "full": (True, True),
+    }
+    for mode, (block_gate, pass_gate) in expectations.items():
+        monkeypatch.setenv("REPRO_MEMO", mode)
+        assert memo_mod.memo_enabled() is block_gate
+        assert memo_mod.pass_memo_enabled() is pass_gate
+
+
+# ---------------------------------------------------------------------------
+# Iterated (iters > 1) runs.
+# ---------------------------------------------------------------------------
+
+
+def test_iters_validation():
+    _, kernel = _kernel(n=32)
+    engine = TimingEngine(LX2())
+    with pytest.raises(ValueError):
+        engine.run(kernel, iters=0)
+    with pytest.raises(ValueError):
+        engine.run(kernel, sample=True, iters=2)
+
+
+def test_iters_bit_identical_across_engines_and_memo_modes(monkeypatch):
+    """Reference and compiled (all memo modes) agree on iterated counters."""
+    iters = 5
+    results = {}
+    for engine_name, memo in [
+        ("reference", "off"),
+        ("compiled", "off"),
+        ("compiled", "block"),
+        ("compiled", "pass"),
+        ("compiled", "full"),
+    ]:
+        monkeypatch.setenv("REPRO_MEMO", memo)
+        _, kernel = _kernel()
+        pc = TimingEngine(LX2(), engine=engine_name).run(kernel, iters=iters)
+        results[(engine_name, memo)] = pc.to_dict()
+    baseline = results[("reference", "off")]
+    for key, counters in results.items():
+        assert counters == baseline, key
+
+
+def test_iters_scales_points(monkeypatch):
+    monkeypatch.setenv("REPRO_MEMO", "off")
+    _, kernel = _kernel(n=32)
+    one = TimingEngine(LX2()).run(kernel, iters=1)
+    three = TimingEngine(LX2()).run(kernel, iters=3)
+    assert three.points == 3 * one.points
+    assert three.cycles > one.cycles
+
+
+# ---------------------------------------------------------------------------
+# Pipeline state signatures (the pass-skip foundation).
+# ---------------------------------------------------------------------------
+
+
+def test_state_signature_recurs_at_pass_boundaries():
+    """After the warm pass, each further pass maps the state onto itself."""
+    config = LX2()
+    _, kernel = _kernel()
+    pipe = PipelineModel(config)
+    engine = TimingEngine(config, engine="reference")
+    run_block = engine._block_runner(kernel, pipe)
+
+    def one_pass():
+        pipe.process_trace(kernel.preamble())
+        for block in kernel.loop_nest():
+            run_block(block)
+
+    one_pass()  # warm
+    one_pass()
+    sig = pipe.state_signature()
+    one_pass()
+    assert pipe.state_signature() == sig
+
+
+# ---------------------------------------------------------------------------
+# Block-level memo: probe verification demotes corrupted entries, and the
+# counters stay bit-identical to the plain replay throughout.
+# ---------------------------------------------------------------------------
+
+
+def test_memo_probe_mismatch_demotes_and_stays_bit_identical():
+    from repro.kernels.template import TraceCompiler
+    from repro.machine.memo import TimingMemo
+
+    config = LX2()
+    passes = 5
+
+    def run(memo=None, corrupt_after=None):
+        _, kernel = _kernel()
+        pipe = PipelineModel(config)
+        compiler = TraceCompiler(kernel)
+        for p in range(passes):
+            pipe.process_trace(kernel.preamble())
+            for block in kernel.loop_nest():
+                entry = compiler.lookup(block)
+                program = entry[0].timing_program(config) if entry else None
+                if program is None:
+                    pipe.process_trace(kernel.emit(block))
+                elif memo is None:
+                    pipe.process_template(program, entry[1])
+                else:
+                    memo.replay(pipe, program, entry[0], entry[1])
+            if memo is not None and corrupt_after == p:
+                for buckets in memo._tables.values():
+                    for cands in buckets.values():
+                        for stored in cands:
+                            stored.frontier_rel += 1  # falsify the recording
+        return pipe.snapshot()
+
+    plain = run()
+    memo = TimingMemo(config)
+    memo.probe_interval = 1  # verify-or-demote on every hit
+    memoed = run(memo=memo, corrupt_after=1)
+    assert memoed.to_dict() == plain.to_dict()
+    assert memo.demotions >= 1
+    # Demoted programs are dropped from the tables for good.
+    assert all(p not in memo._tables for p in memo._demoted)
