@@ -27,6 +27,8 @@ from functools import lru_cache
 from pathlib import Path
 from typing import Dict, Optional, Tuple
 
+import numpy as np
+
 from repro.kernels.base import KernelOptions
 from repro.machine.config import MachineConfig
 from repro.machine.perf import PerfCounters
@@ -97,11 +99,16 @@ def cache_key(
     plan: Optional[SamplePlan],
     warm: bool,
     iters: int = 1,
+    timing: Optional[str] = None,
 ) -> Tuple[str, Dict]:
     """Digest + canonical inputs for one ``(machine, cell)`` measurement."""
     inputs = {
         "schema": SCHEMA_VERSION,
         "code_version": code_version(),
+        # Parts of the hot simulation path (columnar replay, template
+        # address rebasing) run on NumPy, so its version is a genuine
+        # measurement input — source hashing alone cannot see it.
+        "numpy": np.__version__,
         "machine": machine_fingerprint(machine),
         "method": method,
         "stencil": stencil,
@@ -113,6 +120,10 @@ def cache_key(
     if iters != 1:
         # Keyed only when non-default so existing cache entries stay valid.
         inputs["iters"] = iters
+    if timing is not None and timing != "columnar":
+        # Same pattern as ``iters``: only the non-default replay mode is
+        # keyed, so entries written before the mode existed stay valid.
+        inputs["timing"] = timing
     blob = json.dumps(inputs, sort_keys=True)
     return hashlib.sha256(blob.encode()).hexdigest(), inputs
 

@@ -53,11 +53,13 @@ _WORKER_RUNNER = None
 _WORKER_ARGS: Tuple[bool, Optional[SamplePlan]] = (True, None)
 
 
-def _init_worker(machine, options, cache_dir, warm, plan, engine=None) -> None:
+def _init_worker(machine, options, cache_dir, warm, plan, engine=None, timing=None) -> None:
     global _WORKER_RUNNER, _WORKER_ARGS
     from repro.bench.runner import ExperimentRunner
 
-    _WORKER_RUNNER = ExperimentRunner(machine, options, cache_dir=cache_dir, engine=engine)
+    _WORKER_RUNNER = ExperimentRunner(
+        machine, options, cache_dir=cache_dir, engine=engine, timing=timing
+    )
     _WORKER_ARGS = (warm, plan)
 
 
@@ -105,6 +107,7 @@ def run_cells(
     progress: bool = False,
     runner=None,
     engine: Optional[str] = None,
+    timing: Optional[str] = None,
 ) -> List[CellResult]:
     """Measure every cell, fanning out across ``jobs`` worker processes.
 
@@ -134,7 +137,7 @@ def run_cells(
             # Reuse the caller's runner so its memo/disk caches serve directly.
             _WORKER_RUNNER, _WORKER_ARGS = runner, (warm, plan)
         else:
-            _init_worker(machine, options, cache_dir, warm, plan, engine)
+            _init_worker(machine, options, cache_dir, warm, plan, engine, timing)
         try:
             for item in indexed:
                 results.append(_run_cell(item))
@@ -146,7 +149,7 @@ def run_cells(
         with ctx.Pool(
             processes=min(jobs, total),
             initializer=_init_worker,
-            initargs=(machine, options, cache_dir, warm, plan, engine),
+            initargs=(machine, options, cache_dir, warm, plan, engine, timing),
         ) as pool:
             for result in pool.imap_unordered(_run_cell, indexed):
                 results.append(result)

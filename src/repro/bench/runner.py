@@ -60,13 +60,18 @@ class ExperimentRunner:
         options: Optional[KernelOptions] = None,
         cache_dir=None,
         engine: Optional[str] = None,
+        timing: Optional[str] = None,
     ) -> None:
         self.machine = machine if machine is not None else LX2()
         self.options = options or KernelOptions()
         # ``engine`` selects the simulation engine ("compiled"/"reference").
         # The disk-cache key deliberately does NOT include it: the engines
         # are bit-identical, so either may serve the other's cached cells.
-        self.engine = TimingEngine(self.machine, engine=engine)
+        # ``timing`` selects the sampled-replay strategy of the compiled
+        # engine ("columnar"/"scalar"); it IS part of the disk key (when
+        # non-default) so a demotion-related divergence could never be
+        # masked by a cache hit from the other mode.
+        self.engine = TimingEngine(self.machine, engine=engine, timing=timing)
         self.disk_cache = MeasurementCache(cache_dir) if cache_dir else None
         self._cache: Dict[Tuple, Measurement] = {}
         #: key tuple -> "simulated" | "disk" (how the cell was first obtained).
@@ -118,7 +123,7 @@ class ExperimentRunner:
         if self.disk_cache is not None:
             disk_key, inputs = cache_key(
                 self.machine, method, stencil, tuple(shape), self.options, plan, warm,
-                iters=iters,
+                iters=iters, timing=self.engine.timing,
             )
             counters = self.disk_cache.load(disk_key)
 
@@ -193,6 +198,7 @@ class ExperimentRunner:
             progress=progress,
             runner=self,
             engine=self.engine.engine,
+            timing=self.engine.timing,
         )
 
     def sweep(

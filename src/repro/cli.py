@@ -83,6 +83,7 @@ def _runner(args) -> ExperimentRunner:
         _options(args),
         cache_dir=cache_dir,
         engine=getattr(args, "engine", None),
+        timing=getattr(args, "timing", None),
     )
 
 
@@ -311,6 +312,18 @@ def build_parser() -> argparse.ArgumentParser:
             metavar="PATH",
             help="write a BENCH_*.json artifact (file, or directory for the default name)",
         )
+        p.add_argument(
+            "--timing",
+            choices=["columnar", "scalar"],
+            default=None,
+            help="band-sampled replay mode (default: REPRO_TIMING env var, then columnar)",
+        )
+        p.add_argument(
+            "--profile",
+            action="store_true",
+            help="profile the run with cProfile; writes .pstats + a top-20 table "
+            "next to the --json report (or into the working directory)",
+        )
         _engine_arg(p)
 
     def _engine_arg(p):
@@ -352,6 +365,37 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _profile_base(args) -> pathlib.Path:
+    """Where profile artifacts go: next to the --json report when given."""
+    target = getattr(args, "json", None)
+    if target:
+        path = pathlib.Path(target)
+        if path.suffix == ".json":
+            return path.with_suffix("")
+        return path / f"BENCH_{args.command}"
+    return pathlib.Path(f"repro-{args.command}")
+
+
+def _profiled(handler, args) -> int:
+    """Run ``handler`` under cProfile; write the dump and a top-20 table."""
+    import cProfile
+    import io
+    import pstats
+
+    profiler = cProfile.Profile()
+    rc = profiler.runcall(handler, args)
+    base = _profile_base(args)
+    base.parent.mkdir(parents=True, exist_ok=True)
+    pstats_path = base.with_name(base.name + ".pstats")
+    table_path = base.with_name(base.name + ".profile.txt")
+    profiler.dump_stats(str(pstats_path))
+    buffer = io.StringIO()
+    pstats.Stats(profiler, stream=buffer).sort_stats("cumulative").print_stats(20)
+    table_path.write_text(buffer.getvalue())
+    print(f"wrote {pstats_path} and {table_path}")
+    return rc
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handler = {
@@ -362,6 +406,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "verify": cmd_verify,
         "scaling": cmd_scaling,
     }[args.command]
+    if getattr(args, "profile", False):
+        return _profiled(handler, args)
     return handler(args)
 
 

@@ -64,11 +64,15 @@ def _has_memory_aliasing(trace: Sequence[Instruction]) -> bool:
     """
     stores: List[Tuple[int, int]] = []
     loads: List[Tuple[int, int]] = []
+    s_app = stores.append
+    l_app = loads.append
     for ins in trace:
         if isinstance(ins, PRFM):
             continue  # hints carry no ordering requirement
-        stores.extend((a, a + n) for a, n in ins.mem_writes())
-        loads.extend((a, a + n) for a, n in ins.mem_reads())
+        for a, n in ins.mem_writes():
+            s_app((a, a + n))
+        for a, n in ins.mem_reads():
+            l_app((a, a + n))
     if not stores:
         return False
     stores.sort()

@@ -181,11 +181,20 @@ class RowTemplate:
 class TraceCompiler:
     """Groups a kernel's blocks into probe-verified replayable templates."""
 
-    def __init__(self, kernel: Kernel, edge: int = EDGE, max_edge: int = MAX_EDGE) -> None:
+    def __init__(
+        self,
+        kernel: Kernel,
+        edge: int = EDGE,
+        max_edge: int = MAX_EDGE,
+        nest=None,
+    ) -> None:
         self.kernel = kernel
         self.edge = edge
         self.max_edge = max(edge, max_edge)
-        nest = kernel.loop_nest()
+        if nest is None:
+            # Callers that already hold the kernel's loop nest pass it in;
+            # building one is pure but not free (it materializes every block).
+            nest = kernel.loop_nest()
         self.shape: Tuple[int, ...] = tuple(nest.shape)
         self._by_key: Dict[Tuple[int, ...], KernelBlock] = {b.key: b for b in nest.blocks}
         #: shape class -> RowTemplate, or None when the class failed probing.

@@ -24,6 +24,7 @@ Statistics follow the paper's ``perf``-based methodology:
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
@@ -65,6 +66,9 @@ class CacheStats:
         if self.perf_accesses == 0:
             return 0.0
         return self.perf_hits / self.perf_accesses
+
+    def copy(self) -> "CacheStats":
+        return dataclasses.replace(self)
 
     def merge(self, other: "CacheStats") -> None:
         self.demand_accesses += other.demand_accesses
@@ -152,6 +156,23 @@ class CacheLevel:
             tuple(sorted(ways, key=ways.__getitem__)) for ways in self._sets
         )
         return sets, frozenset(self._dirty)
+
+    def clone(self) -> "CacheLevel":
+        """Independent copy of all replacement state and statistics.
+
+        The columnar replay's probe verification runs a candidate block on
+        a cloned hierarchy so a mismatch never corrupts the real one.
+        """
+        out = CacheLevel.__new__(CacheLevel)
+        out.geometry = self.geometry
+        out.name = self.name
+        out.num_sets = self.num_sets
+        out.assoc = self.assoc
+        out._sets = [dict(ways) for ways in self._sets]
+        out._tick = self._tick
+        out._dirty = set(self._dirty)
+        out.stats = self.stats.copy()
+        return out
 
     def resident_lines(self) -> int:
         return sum(len(w) for w in self._sets)
@@ -292,6 +313,17 @@ class CacheHierarchy:
             self.mem_lines_written += 1
 
     # -- maintenance --------------------------------------------------------------
+
+    def clone(self) -> "CacheHierarchy":
+        """Independent copy of both levels and the DRAM traffic counters."""
+        out = CacheHierarchy.__new__(CacheHierarchy)
+        out.config = self.config
+        out.line_words = self.line_words
+        out.l1 = self.l1.clone()
+        out.l2 = self.l2.clone()
+        out.mem_lines_read = self.mem_lines_read
+        out.mem_lines_written = self.mem_lines_written
+        return out
 
     def reset_stats(self) -> None:
         """Zero all counters while keeping cache contents (warm state)."""

@@ -805,10 +805,7 @@ def _record(
         c_l2_da, c_l2_dh, l2r.writebacks,
         c_mem_rd, c_mem_wr, c_pf_iss, c_pf_conf, c_pf_alloc,
     )
-    write_union: set = set()
-    for step in program.steps:
-        write_union.update(step[1])
-    entry.slots_out = tuple((s, slots[s] - f0) for s in sorted(write_union))
+    entry.slots_out = tuple((s, slots[s] - f0) for s in program.write_union())
     entry.pipes_out = tuple(
         (pid, j, pipes_by_id[pid][j] - f0) for pid, j in sorted(pipes_assigned)
     )
@@ -1124,10 +1121,7 @@ class TimingMemo:
     def _program_live_keys(self, program: TimingProgram) -> Tuple:
         live = self._live_keys.get(program)
         if live is None:
-            dep_union: set = set()
-            for step in program.steps:
-                dep_union.update(step[0])
-            live = tuple(SCOREBOARD_KEYS[s] for s in sorted(dep_union))
+            live = tuple(SCOREBOARD_KEYS[s] for s in program.dep_union())
             self._live_keys[program] = live
         return live
 

@@ -371,6 +371,28 @@ class PipelineModel:
         self.useful_flops += program.useful_flops
         self.sw_prefetches += program.n_prfm
 
+    def clone(self) -> "PipelineModel":
+        """Independent deep copy of all behavioural state and counters.
+
+        The clone shares nothing mutable with the original: the columnar
+        replay's probe verification advances a clone down the candidate
+        path while the original takes the scalar walk, then compares.
+        """
+        hierarchy = self.hierarchy.clone()
+        out = PipelineModel(self.config, hierarchy, self.prefetcher.clone(hierarchy))
+        out._port_free = {port: list(pipes) for port, pipes in self._port_free.items()}
+        out._ready = dict(self._ready)
+        out._frontier = self._frontier
+        out._cycle = self._cycle
+        out._issued_this_cycle = self._issued_this_cycle
+        out.makespan = self.makespan
+        out.instructions_retired = self.instructions_retired
+        out.instructions_by_port = Counter(self.instructions_by_port)
+        out.flops = self.flops
+        out.useful_flops = self.useful_flops
+        out.sw_prefetches = self.sw_prefetches
+        return out
+
     def state_signature(self) -> tuple:
         """Canonical behavioural state of the whole machine model.
 

@@ -118,6 +118,28 @@ class StreamPrefetcher:
             self.hierarchy.hardware_prefetch(target)
             self.prefetches_issued += 1
 
+    def clone(self, hierarchy: CacheHierarchy) -> "StreamPrefetcher":
+        """Independent copy of the stream table, bound to ``hierarchy``.
+
+        The caller supplies the (cloned) hierarchy so prefetch fills issued
+        by the copy land in the copied caches, not the originals.
+        """
+        out = StreamPrefetcher(
+            hierarchy,
+            num_streams=self.num_streams,
+            depth=self.depth,
+            enabled=self.enabled,
+            confirm_advances=self.confirm_advances,
+        )
+        for line, stream in self._streams.items():
+            out._streams[line] = _Stream(
+                tail_line=stream.tail_line, advances=stream.advances
+            )
+        out.prefetches_issued = self.prefetches_issued
+        out.streams_confirmed = self.streams_confirmed
+        out.streams_allocated = self.streams_allocated
+        return out
+
     def active_streams(self) -> int:
         return len(self._streams)
 

@@ -47,10 +47,20 @@ FULL_SIM_POINT_LIMIT = 300_000
 #: Engines selectable on :class:`TimingEngine` / ``FunctionalEngine.run_kernel``.
 ENGINES = ("compiled", "reference")
 
+#: Band-sampled replay strategies for the compiled engine: ``columnar``
+#: precomputes address streams and memoizes the scoreboard recurrence
+#: (:mod:`repro.machine.columnar`); ``scalar`` walks block by block.
+TIMING_MODES = ("columnar", "scalar")
+
 
 def default_engine() -> str:
     """Engine used when none is requested (``REPRO_ENGINE`` overrides)."""
     return os.environ.get("REPRO_ENGINE", "compiled")
+
+
+def default_timing() -> str:
+    """Sampled-replay mode when none is requested (``REPRO_TIMING`` overrides)."""
+    return os.environ.get("REPRO_TIMING", "columnar")
 
 
 def _add_scaled(base: PerfCounters, delta: PerfCounters, n: int) -> PerfCounters:
@@ -96,18 +106,30 @@ class TimingEngine:
     walk for any block whose class fails probe verification.
     """
 
-    def __init__(self, config: MachineConfig, engine: Optional[str] = None) -> None:
+    def __init__(
+        self,
+        config: MachineConfig,
+        engine: Optional[str] = None,
+        timing: Optional[str] = None,
+    ) -> None:
         self.config = config
         if engine is None:
             engine = default_engine()
         if engine not in ENGINES:
             raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
         self.engine = engine
+        if timing is None:
+            timing = default_timing()
+        if timing not in TIMING_MODES:
+            raise ValueError(
+                f"unknown timing {timing!r}; expected one of {TIMING_MODES}"
+            )
+        self.timing = timing
 
     # ------------------------------------------------------------------
 
     def _block_runner(
-        self, kernel: Kernel, pipe: PipelineModel
+        self, kernel: Kernel, pipe: PipelineModel, nest=None
     ) -> Callable[[KernelBlock], None]:
         """Per-block processing function for the selected engine."""
         if self.engine != "compiled":
@@ -116,7 +138,7 @@ class TimingEngine:
         from repro.kernels.template import TraceCompiler
         from repro.machine.memo import TimingMemo, memo_enabled
 
-        compiler = TraceCompiler(kernel)
+        compiler = TraceCompiler(kernel, nest=nest)
         config = self.config
         memo = TimingMemo(config) if memo_enabled() else None
 
@@ -172,20 +194,19 @@ class TimingEngine:
             sample = total_points > FULL_SIM_POINT_LIMIT
 
         if not sample:
-            counters = self._run_full(kernel, warm=warm, iters=iters)
+            counters = self._run_full(kernel, nest, warm=warm, iters=iters)
         else:
             if iters != 1:
                 raise ValueError("iters is only supported for full (unsampled) runs")
-            counters = self._run_sampled(kernel, plan or SamplePlan())
+            counters = self._run_sampled(kernel, nest, plan or SamplePlan())
         counters.label = label or kernel.name
         return counters
 
     # ------------------------------------------------------------------
 
-    def _run_full(self, kernel: Kernel, warm: bool, iters: int = 1) -> PerfCounters:
+    def _run_full(self, kernel: Kernel, nest, warm: bool, iters: int = 1) -> PerfCounters:
         pipe = PipelineModel(self.config)
-        nest = kernel.loop_nest()
-        run_block = self._block_runner(kernel, pipe)
+        run_block = self._block_runner(kernel, pipe, nest=nest)
 
         def one_pass() -> None:
             pipe.process_trace(kernel.preamble())
@@ -214,20 +235,30 @@ class TimingEngine:
         prev_sig = pipe.state_signature() if use_skip else None
         prev_snap = before if before is not None else pipe.snapshot()
         counters: Optional[PerfCounters] = None
+        strikes = 0
         for done_passes in range(1, iters + 1):
             one_pass()
             if not use_skip:
                 continue
-            snap = pipe.snapshot()
             sig = pipe.state_signature()
             if sig == prev_sig:
                 # The pass just run mapped the state onto itself: every
                 # remaining pass repeats its delta exactly.
+                snap = pipe.snapshot()
                 delta = PipelineModel.delta(snap, prev_snap)
                 counters = _add_scaled(snap, delta, iters - done_passes)
                 break
+            # A fixed point, if one exists, appears after the first measured
+            # pass (warm caches) or the second (cold entry).  Two consecutive
+            # distinct signatures therefore mean the state is genuinely
+            # drifting (e.g. capacity streaming) and the signature itself —
+            # which walks every cache set — is pure overhead from here on.
+            strikes += 1
+            if strikes >= 2:
+                use_skip = False
+                continue
             prev_sig = sig
-            prev_snap = snap
+            prev_snap = pipe.snapshot()
         if counters is None:
             counters = pipe.snapshot()
         if before is not None:
@@ -235,26 +266,39 @@ class TimingEngine:
         counters.points = nest.total_points() * iters
         return counters
 
-    def _run_sampled(self, kernel: Kernel, plan: SamplePlan) -> PerfCounters:
+    def _run_sampled(self, kernel: Kernel, nest, plan: SamplePlan) -> PerfCounters:
         pipe = PipelineModel(self.config)
-        nest = kernel.loop_nest()
         bands = nest.bands()
         total_points = nest.total_points()
 
         warmup = min(plan.warmup_bands, max(len(bands) - 1, 0))
-        run_block = self._block_runner(kernel, pipe)
+        if self.engine == "compiled" and self.timing == "columnar":
+            # Columnar replay is scoped to the sampled path on purpose: it
+            # pays off exactly where cache state never recurs (so the pass
+            # and block memo layers can't fire), and staying out of the
+            # full-simulation path keeps the in-cache memo speedups intact.
+            from repro.machine.columnar import ColumnarReplayer
+
+            run_band = ColumnarReplayer(
+                kernel, self.config, pipe, nest=nest
+            ).process_band
+        else:
+            run_block = self._block_runner(kernel, pipe, nest=nest)
+
+            def run_band(band) -> None:
+                for block in band:
+                    run_block(block)
+
         pipe.process_trace(kernel.preamble())
         for band in bands[:warmup]:
-            for block in band:
-                run_block(block)
+            run_band(band)
 
         before = pipe.snapshot()
         measured_points = 0
         measured_bands = 0
         for band in bands[warmup:]:
-            for block in band:
-                run_block(block)
-                measured_points += block.points
+            run_band(band)
+            measured_points += sum(block.points for block in band)
             measured_bands += 1
             if measured_points >= plan.min_measure_points:
                 break

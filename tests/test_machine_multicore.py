@@ -139,3 +139,51 @@ class TestSerialRebase:
         pt = mc.scaling_point(4, synthetic_slice(1000.0, 4096))
         assert pt.serial_cycles == 0.0
         assert pt.speedup_vs_serial == pytest.approx(1.0)
+
+
+class TestSpeedupVsSerialContract:
+    """Pin down the three regimes of ``ScalingPoint.speedup_vs_serial``."""
+
+    def test_bare_fallback_below_one_when_bandwidth_bound(self):
+        # Without a serial reference the property degrades to the
+        # same-slice ratio, which only drops below 1.0 when the
+        # contention bound stretched the slice.
+        mc = MulticoreModel(LX2())
+        pt = mc.scaling_point(64, synthetic_slice(100.0, 4096, dram_lines=10_000))
+        assert pt.bandwidth_bound
+        assert pt.serial_cycles == 0.0
+        assert pt.speedup_vs_serial == pytest.approx(pt.single_core_cycles / pt.cycles)
+        assert pt.speedup_vs_serial < 1.0
+
+    def test_zero_cycle_point_reports_zero(self):
+        mc = MulticoreModel(LX2())
+        pt = mc.scaling_point(2, synthetic_slice(0.0, 0))
+        assert pt.speedup_vs_serial == 0.0
+
+    def test_remainder_rows_do_not_distort_throughput_speedup(self):
+        # 64 rows on 3 cores: one remainder row is dropped (fewer points),
+        # but the speedup is a throughput ratio, so a perfectly linear
+        # workload still reports exactly 3x — with the dropped work
+        # surfaced separately via remainder_rows / points.
+        mc = MulticoreModel(LX2())
+        slices = {
+            21: synthetic_slice(2100.0, 1344),  # 100 cycles/row, 64 pts/row
+            64: synthetic_slice(6400.0, 4096),
+        }
+        (pt,) = mc.series_from_slices(slices, total_rows=64, core_counts=[3])
+        assert pt.remainder_rows == 1
+        assert pt.points == 3 * 1344
+        assert pt.speedup_vs_serial == pytest.approx(3.0)
+
+    def test_rebase_uses_true_serial_reference_not_slice_ratio(self):
+        # The short slice runs super-linearly faster per point (cache
+        # effects): rebasing against the true 1-core measurement must
+        # surface that, where the same-slice fallback would report 1.0.
+        mc = MulticoreModel(LX2())
+        slices = {
+            32: synthetic_slice(800.0, 2048),   # 4x the serial throughput
+            64: synthetic_slice(6400.0, 4096),
+        }
+        (pt,) = mc.series_from_slices(slices, total_rows=64, core_counts=[2])
+        assert not pt.bandwidth_bound
+        assert pt.speedup_vs_serial == pytest.approx(8.0)
