@@ -14,7 +14,6 @@ into scaling points rebased against the true 1-core measurement.
 from conftest import BENCH_JOBS, bench_artifact, report, run_once
 
 from repro.bench.report import format_scaling_series
-from repro.machine.config import LX2
 from repro.machine.multicore import MulticoreModel
 
 N = 8192
@@ -30,7 +29,10 @@ def _collect(runner):
         [(m, STENCIL, (rows, N)) for m in METHODS for rows in HEIGHTS],
         jobs=BENCH_JOBS,
     )
-    mc = MulticoreModel(LX2())
+    # Reuse the runner's engine: the contention model then follows the same
+    # --engine/--timing (REPRO_ENGINE/REPRO_TIMING) selection as the slice
+    # measurements, instead of silently reverting to the defaults.
+    mc = MulticoreModel(runner.machine, timing_engine=runner.engine)
     series = {}
     points = {}
     for method in METHODS:

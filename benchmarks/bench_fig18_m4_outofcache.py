@@ -2,6 +2,11 @@
 
 Paper: without the optimizations HStencil averages 2.63x on the M4;
 instruction scheduling adds ~30% and spatial prefetch another ~20%.
+
+All cells run through the session ``m4_runner``, so ``REPRO_ENGINE`` /
+``REPRO_TIMING`` select the replay engine and sampled-timing mode here the
+same way they do for every other bench (see ``conftest.py``), and the disk
+cache keys on the non-default timing mode.
 """
 
 from conftest import report, run_once

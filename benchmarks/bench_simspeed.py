@@ -53,15 +53,47 @@ OOC_METHODS = ["hstencil", "auto"]
 
 #: Wall-clock targets.  ``compiled+pass-memo`` must beat the pre-memoization
 #: compiled engine by >= 4x on the iterated in-cache workload, and the
-#: reference walk by >= 20x.
+#: reference walk by >= 20x.  The baseline is pinned to ``timing="scalar"``:
+#: memo-off full runs engage the columnar first-pass batching by default
+#: now, and letting the baseline speed up with the feature under test would
+#: silently redefine what the memoization floors measure.
 SPEEDUP_TARGET_VS_COMPILED = 4.0
 SPEEDUP_TARGET_VS_REFERENCE = 20.0
 
+#: In-cache columnar batching target: the same memo-off iterated workload,
+#: scalar vs columnar timing.  Full runs drive the columnar replayer
+#: band-at-a-time over ``nest.bands()``, so every measured pass of the
+#: in-cache suite is batched like a sampled band; measured headroom ~2x.
+INCACHE_COLUMNAR_TARGET = 1.5
+
 #: Out-of-cache target: columnar replay vs the reference walk on the
-#: band-sampled workload (measured ~5.8x; the floor leaves CI noise room).
-#: Out of cache neither memo layer can fire (the cache state never
-#: recurs), so this is purely compile-once + address-stream replay.
-OOC_SPEEDUP_TARGET = 4.5
+#: band-sampled workload (the floor leaves CI noise room below the
+#: measured ratio).  Out of cache neither memo layer can fire (the cache
+#: state never recurs), so this is compile-once + address-stream replay
+#: plus the block/chunk scoreboard memo over relative contexts.  The
+#: combined cell includes the ``auto`` kernel, whose large blocks make the
+#: compile-once probe emissions a third of the columnar wall-clock at this
+#: grid size — the amortized regime is asserted separately by the
+#: ``ooc_guard`` floor below.
+OOC_SPEEDUP_TARGET = 5.0
+
+#: Multicore (fig16-style) wall-clock target: one strong-scaling sweep —
+#: every distinct slice height plus the serial reference, band-sampled —
+#: timed through the columnar and scalar sampled-replay modes in the same
+#: process.  Columnar must beat the scalar walk by this factor; the sweep's
+#: scaling points must agree exactly between the modes.  The r=2 box is the
+#: HStencil showcase (figs 17/18) and the representative op mix for the
+#: replay engine: with five taps per row most operations stay on the L1-hit
+#: fast path rather than in the per-line stream-advance machinery.  The
+#: sampling plan is sized so the compile-once probe emissions (paid by both
+#: modes) amortize the way they do on production sweeps; measured headroom
+#: is ~2.2-2.3x.
+MC_GUARD_SIZE = 2048
+MC_GUARD_CORES = [1, 2, 4, 8]
+MC_GUARD_STENCIL = "box2d25p"
+MC_GUARD_METHOD = "hstencil-prefetch"
+MC_GUARD_PLAN = SamplePlan(min_measure_points=200_000)
+MC_SPEEDUP_TARGET = 2.0
 
 #: Small workload for the CI wall-clock regression guard: the full run
 #: records its memo-off / pass-memo ratio in the JSON artifact, the smoke
@@ -74,10 +106,15 @@ GUARD_SLACK = 0.25
 
 #: Out-of-cache guard cell: one band-sampled large grid, measured through
 #: the reference walk and the columnar replay in the same process.  The
-#: lightened sampling plan keeps the reference side affordable in CI while
-#: exercising the identical code paths as the full workload.
+#: sampling plan is sized so the compile-once probe emissions amortize the
+#: way they do on production sweeps (at 100k measured points they are a few
+#: percent of the columnar side), which is the regime the hard floor below
+#: describes; the cell still exercises the identical code paths as the
+#: full workload.  The floor is a same-process wall-clock ratio, so it is
+#: machine-independent; measured headroom is ~10-12x.
 OOC_GUARD_CELLS = [("hstencil", OOC_STENCIL, OOC_SHAPE)]
-OOC_GUARD_PLAN = SamplePlan(min_measure_points=20_000)
+OOC_GUARD_PLAN = SamplePlan(min_measure_points=100_000)
+OOC_GUARD_SPEEDUP_TARGET = 8.0
 
 _RESULTS_JSON = os.path.join(
     os.path.dirname(__file__), "results", "BENCH_simspeed.json"
@@ -85,25 +122,89 @@ _RESULTS_JSON = os.path.join(
 
 
 def _guard_speedup():
-    """Measured memo-off / pass-memo wall-clock ratio on the guard cells."""
-    off_s, _, _ = _run_config("compiled", "off", GUARD_CELLS, iters=GUARD_ITERS)
+    """Measured memo-off / pass-memo wall-clock ratio on the guard cells.
+
+    The off side pins ``timing="scalar"`` for the same reason the main
+    workload does: the guarded quantity is the memoization payoff over the
+    pre-memoization engine, not over the columnar first-pass batching.
+    """
+    off_s, _, _ = _run_config(
+        "compiled", "off", GUARD_CELLS, iters=GUARD_ITERS, timing="scalar"
+    )
     memo_s, _, _ = _run_config("compiled", "pass", GUARD_CELLS, iters=GUARD_ITERS)
     return off_s / memo_s
 
 
-def _ooc_guard_speedup():
+def _multicore_run(timing):
+    """Wall-clock one fig16-style strong-scaling sweep in ``timing`` mode."""
+    from repro.machine.multicore import MulticoreModel
+    from repro.stencils.library import benchmark as stencil_benchmark
+
+    runner = ExperimentRunner(LX2(), cache_dir=None, timing=timing)
+    spec = stencil_benchmark(MC_GUARD_STENCIL)
+    # Share the runner's engine so columnar plans/memos persist across the
+    # sweep's slice heights — the configuration the fig16 bench runs with.
+    mc = MulticoreModel(runner.machine, timing_engine=runner.engine)
+    start = time.perf_counter()
+    points = mc.strong_scaling(
+        lambda rows: runner._build(MC_GUARD_METHOD, spec, (rows, MC_GUARD_SIZE)),
+        MC_GUARD_SIZE,
+        MC_GUARD_CORES,
+        plan=MC_GUARD_PLAN,
+    )
+    seconds = time.perf_counter() - start
+    return seconds, points
+
+
+def _multicore_best(rounds=3):
+    """Interleaved best-of-N multicore sweeps in both timing modes.
+
+    Machine load inflates single wall-clock readings by tens of percent;
+    alternating the two sides and keeping each side's best keeps the ratio
+    near the noise-free value (load can slow a run, never speed one up).
+    Also asserts the modes produce identical scaling points on every
+    round, so the measurement doubles as an end-to-end multicore
+    bit-identity check.
+    """
+    sca_s = col_s = None
+    for _ in range(rounds):
+        s, sca_pts = _multicore_run("scalar")
+        c, col_pts = _multicore_run("columnar")
+        assert [
+            (p.cores, p.cycles, p.points, p.dram_bytes_per_core) for p in col_pts
+        ] == [
+            (p.cores, p.cycles, p.points, p.dram_bytes_per_core) for p in sca_pts
+        ], "multicore sweep: scaling points diverge between timing modes"
+        sca_s = s if sca_s is None else min(sca_s, s)
+        col_s = c if col_s is None else min(col_s, c)
+    return sca_s, col_s, sca_pts, col_pts
+
+
+def _multicore_guard_speedup():
+    """Scalar / columnar wall-clock ratio on the multicore guard sweep."""
+    sca_s, col_s, _sca_pts, _col_pts = _multicore_best()
+    return sca_s / col_s
+
+
+def _ooc_guard_speedup(rounds=2):
     """Reference / columnar wall-clock ratio on the out-of-cache guard cell.
 
-    Also asserts bit-identity between the two sides — the guard doubles as
-    a cheap end-to-end columnar correctness check on a real large grid.
+    Interleaved best-of-N like :func:`_multicore_best`: load can only slow
+    a run down, so each side's minimum is the honest reading.  Also asserts
+    bit-identity between the two sides on every round — the guard doubles
+    as a cheap end-to-end columnar correctness check on a real large grid.
     """
-    ref_s, _, ref_counters = _run_config(
-        "reference", "off", OOC_GUARD_CELLS, plan=OOC_GUARD_PLAN
-    )
-    col_s, _, col_counters = _run_config(
-        "compiled", "pass", OOC_GUARD_CELLS, plan=OOC_GUARD_PLAN, timing="columnar"
-    )
-    _assert_identical(OOC_GUARD_CELLS, ref_counters, col_counters, "ooc guard")
+    ref_s = col_s = None
+    for _ in range(rounds):
+        r, _, ref_counters = _run_config(
+            "reference", "off", OOC_GUARD_CELLS, plan=OOC_GUARD_PLAN
+        )
+        c, _, col_counters = _run_config(
+            "compiled", "pass", OOC_GUARD_CELLS, plan=OOC_GUARD_PLAN, timing="columnar"
+        )
+        _assert_identical(OOC_GUARD_CELLS, ref_counters, col_counters, "ooc guard")
+        ref_s = r if ref_s is None else min(ref_s, r)
+        col_s = c if col_s is None else min(col_s, c)
     return ref_s / col_s
 
 
@@ -148,8 +249,13 @@ def test_simspeed_workloads(benchmark):
     ref_s, ref_ins, ref_counters = _run_config(
         "reference", "off", cells, iters=MEMO_ITERS
     )
+    # Scalar timing pins the historical pre-memoization baseline; the
+    # columnar run measures the first-pass in-cache batching on its own.
     off_s, off_ins, off_counters = _run_config(
-        "compiled", "off", cells, iters=MEMO_ITERS
+        "compiled", "off", cells, iters=MEMO_ITERS, timing="scalar"
+    )
+    col_off_s, col_off_ins, col_off_counters = _run_config(
+        "compiled", "off", cells, iters=MEMO_ITERS, timing="columnar"
     )
 
     # -- in-cache, iters=16: compiled + pass memo (the benchmarked engine) --
@@ -161,8 +267,11 @@ def test_simspeed_workloads(benchmark):
     )
 
     # Bit-identity: same instructions simulated, same counters everywhere.
-    assert memo_ins == ref_ins == off_ins
+    assert memo_ins == ref_ins == off_ins == col_off_ins
     _assert_identical(cells, ref_counters, off_counters, "compiled/off vs reference")
+    _assert_identical(
+        cells, ref_counters, col_off_counters, "compiled/off columnar vs reference"
+    )
     _assert_identical(cells, ref_counters, memo_counters, "compiled/pass vs reference")
 
     # -- out-of-cache, band-sampled: reference vs both replay modes --------
@@ -178,12 +287,17 @@ def test_simspeed_workloads(benchmark):
     _assert_identical(ooc_cells, ooc_ref_counters, ooc_sca_counters, "out-of-cache scalar")
     _assert_identical(ooc_cells, ooc_ref_counters, ooc_col_counters, "out-of-cache columnar")
 
+    # -- multicore (fig16-style) sweep: scalar vs columnar wall-clock ------
+    mc_sca_s, mc_col_s, mc_sca_pts, mc_col_pts = _multicore_best()
+    mc_speedup = mc_sca_s / mc_col_s
+
     # -- CI regression-guard baselines -------------------------------------
     guard_speedup = _guard_speedup()
     ooc_guard_speedup = _ooc_guard_speedup()
 
     speedup_vs_ref = ref_s / memo_s
     speedup_vs_off = off_s / memo_s
+    incache_col_speedup = off_s / col_off_s
     ooc_speedup = ooc_ref_s / ooc_col_s
     ooc_speedup_scalar = ooc_ref_s / ooc_sca_s
     rows = {
@@ -192,10 +306,15 @@ def test_simspeed_workloads(benchmark):
             "sim ins": f"{ref_ins:,}",
             "ins/s": f"{ref_ins / ref_s:,.0f}",
         },
-        "compiled (memo off)": {
+        "compiled (memo off, scalar)": {
             "wall s": f"{off_s:.2f}",
             "sim ins": f"{off_ins:,}",
             "ins/s": f"{off_ins / off_s:,.0f}",
+        },
+        "compiled (memo off, columnar)": {
+            "wall s": f"{col_off_s:.2f}",
+            "sim ins": f"{col_off_ins:,}",
+            "ins/s": f"{col_off_ins / col_off_s:,.0f}",
         },
         "compiled (pass memo)": {
             "wall s": f"{memo_s:.2f}",
@@ -212,10 +331,21 @@ def test_simspeed_workloads(benchmark):
         f"(target >= {SPEEDUP_TARGET_VS_COMPILED:.0f}x)"
         + f"\npass-memo vs reference wall-clock speedup: {speedup_vs_ref:.2f}x "
         f"(target >= {SPEEDUP_TARGET_VS_REFERENCE:.0f}x)"
+        + f"\nin-cache columnar first-pass batching (memo off, scalar vs "
+        f"columnar): {incache_col_speedup:.2f}x "
+        f"(target >= {INCACHE_COLUMNAR_TARGET:.1f}x)"
         + f"\nout-of-cache sampled workload: columnar {ooc_col_s:.2f}s / "
         f"scalar {ooc_sca_s:.2f}s vs reference {ooc_ref_s:.2f}s "
         f"(columnar {ooc_speedup:.2f}x, target >= {OOC_SPEEDUP_TARGET:.1f}x; "
-        f"scalar {ooc_speedup_scalar:.2f}x)",
+        f"scalar {ooc_speedup_scalar:.2f}x)"
+        + f"\nout-of-cache guard cell (amortized, "
+        f"{OOC_GUARD_PLAN.min_measure_points:,} points): "
+        f"{ooc_guard_speedup:.2f}x vs reference "
+        f"(target >= {OOC_GUARD_SPEEDUP_TARGET:.1f}x)"
+        + f"\nfig16-style multicore sweep ({MC_GUARD_STENCIL} "
+        f"{MC_GUARD_SIZE}^2, cores {MC_GUARD_CORES}): columnar {mc_col_s:.2f}s "
+        f"vs scalar {mc_sca_s:.2f}s ({mc_speedup:.2f}x, "
+        f"target >= {MC_SPEEDUP_TARGET:.1f}x)",
     )
     bench_artifact(
         "simspeed",
@@ -230,17 +360,29 @@ def test_simspeed_workloads(benchmark):
                 "machine": "LX2",
             },
             "reference": {"seconds": ref_s, "instructions": ref_ins},
-            "compiled_memo_off": {"seconds": off_s, "instructions": off_ins},
+            "compiled_memo_off": {
+                "seconds": off_s,
+                "instructions": off_ins,
+                "timing": "scalar",
+            },
+            "compiled_memo_off_columnar": {
+                "seconds": col_off_s,
+                "instructions": col_off_ins,
+                "timing": "columnar",
+            },
             "compiled_pass_memo": {"seconds": memo_s, "instructions": memo_ins},
             "instructions_per_second": {
                 "reference": ref_ins / ref_s,
                 "compiled_memo_off": off_ins / off_s,
+                "compiled_memo_off_columnar": col_off_ins / col_off_s,
                 "compiled_pass_memo": memo_ins / memo_s,
             },
             "speedup_vs_reference": speedup_vs_ref,
             "speedup_vs_compiled_memo_off": speedup_vs_off,
+            "incache_columnar_speedup": incache_col_speedup,
             "speedup_target_vs_reference": SPEEDUP_TARGET_VS_REFERENCE,
             "speedup_target_vs_compiled_memo_off": SPEEDUP_TARGET_VS_COMPILED,
+            "incache_columnar_speedup_target": INCACHE_COLUMNAR_TARGET,
             "regression_guard": {
                 "cells": [list(c[:2]) + [list(c[2])] for c in GUARD_CELLS],
                 "iters": GUARD_ITERS,
@@ -263,6 +405,27 @@ def test_simspeed_workloads(benchmark):
                 "cells": [list(c[:2]) + [list(c[2])] for c in OOC_GUARD_CELLS],
                 "min_measure_points": OOC_GUARD_PLAN.min_measure_points,
                 "speedup": ooc_guard_speedup,
+                "speedup_target": OOC_GUARD_SPEEDUP_TARGET,
+                "slack": GUARD_SLACK,
+            },
+            "multicore": {
+                "method": MC_GUARD_METHOD,
+                "stencil": MC_GUARD_STENCIL,
+                "size": MC_GUARD_SIZE,
+                "cores": MC_GUARD_CORES,
+                "min_measure_points": MC_GUARD_PLAN.min_measure_points,
+                "scalar_seconds": mc_sca_s,
+                "columnar_seconds": mc_col_s,
+                "speedup": mc_speedup,
+                "speedup_target": MC_SPEEDUP_TARGET,
+            },
+            "multicore_guard": {
+                "method": MC_GUARD_METHOD,
+                "stencil": MC_GUARD_STENCIL,
+                "size": MC_GUARD_SIZE,
+                "cores": MC_GUARD_CORES,
+                "min_measure_points": MC_GUARD_PLAN.min_measure_points,
+                "speedup": mc_speedup,
                 "slack": GUARD_SLACK,
             },
             "bit_identical": True,
@@ -270,7 +433,10 @@ def test_simspeed_workloads(benchmark):
     )
     assert speedup_vs_off >= SPEEDUP_TARGET_VS_COMPILED
     assert speedup_vs_ref >= SPEEDUP_TARGET_VS_REFERENCE
+    assert incache_col_speedup >= INCACHE_COLUMNAR_TARGET
     assert ooc_speedup >= OOC_SPEEDUP_TARGET
+    assert ooc_guard_speedup >= OOC_GUARD_SPEEDUP_TARGET
+    assert mc_speedup >= MC_SPEEDUP_TARGET
 
 
 def test_smoke_simspeed_engines_agree():
@@ -342,8 +508,38 @@ def test_smoke_simspeed_ooc_wallclock_guard():
         pytest.skip("no recorded ooc_guard baseline in BENCH_simspeed.json")
     measured = _ooc_guard_speedup()
     floor = recorded["speedup"] * (1.0 - recorded.get("slack", GUARD_SLACK))
+    # The recorded baseline never lets the floor drop below the hard target
+    # (raised from the pre-columnar 4.5x): a "passing" regression guard must
+    # still mean the columnar path beats the reference walk by >= 8x.
+    if floor < OOC_GUARD_SPEEDUP_TARGET:
+        floor = OOC_GUARD_SPEEDUP_TARGET
     assert measured >= floor, (
         f"out-of-cache columnar speedup regressed: measured {measured:.2f}x, "
+        f"recorded {recorded['speedup']:.2f}x, floor {floor:.2f}x"
+    )
+
+
+def test_smoke_simspeed_multicore_wallclock_guard():
+    """CI wall-clock guard for the fig16-style multicore columnar path.
+
+    Re-measures the scalar / columnar speedup ratio on the strong-scaling
+    guard sweep and compares it against the baseline the committed
+    ``BENCH_simspeed.json`` records, with the usual slack.  The helper also
+    asserts the two modes' scaling points agree exactly, so the guard
+    doubles as an end-to-end multicore bit-identity check.
+    """
+    import json
+
+    try:
+        recorded = json.loads(open(_RESULTS_JSON).read())["multicore_guard"]
+    except (OSError, ValueError, KeyError):
+        import pytest
+
+        pytest.skip("no recorded multicore_guard baseline in BENCH_simspeed.json")
+    measured = _multicore_guard_speedup()
+    floor = recorded["speedup"] * (1.0 - recorded.get("slack", GUARD_SLACK))
+    assert measured >= floor, (
+        f"multicore columnar speedup regressed: measured {measured:.2f}x, "
         f"recorded {recorded['speedup']:.2f}x, floor {floor:.2f}x"
     )
 

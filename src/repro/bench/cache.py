@@ -100,8 +100,16 @@ def cache_key(
     warm: bool,
     iters: int = 1,
     timing: Optional[str] = None,
+    engine: Optional[str] = None,
 ) -> Tuple[str, Dict]:
-    """Digest + canonical inputs for one ``(machine, cell)`` measurement."""
+    """Digest + canonical inputs for one ``(machine, cell)`` measurement.
+
+    ``timing`` participates in the digest when non-default; ``engine`` never
+    does (the compiled and reference engines are bit-identical, so either
+    may serve the other's cells — ``tests/test_smoke_simspeed.py`` pins
+    this) but it is recorded in the returned inputs so stored entries say
+    which engine produced them.
+    """
     inputs = {
         "schema": SCHEMA_VERSION,
         "code_version": code_version(),
@@ -125,7 +133,11 @@ def cache_key(
         # keyed, so entries written before the mode existed stay valid.
         inputs["timing"] = timing
     blob = json.dumps(inputs, sort_keys=True)
-    return hashlib.sha256(blob.encode()).hexdigest(), inputs
+    digest = hashlib.sha256(blob.encode()).hexdigest()
+    if engine is not None:
+        # Audit-only: recorded in the stored entry, excluded from the digest.
+        inputs = dict(inputs, engine=engine)
+    return digest, inputs
 
 
 class MeasurementCache:

@@ -123,7 +123,7 @@ class ExperimentRunner:
         if self.disk_cache is not None:
             disk_key, inputs = cache_key(
                 self.machine, method, stencil, tuple(shape), self.options, plan, warm,
-                iters=iters, timing=self.engine.timing,
+                iters=iters, timing=self.engine.timing, engine=self.engine.engine,
             )
             counters = self.disk_cache.load(disk_key)
 

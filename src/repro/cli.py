@@ -247,7 +247,10 @@ def cmd_scaling(args) -> int:
         )
     slices = {r.shape[0]: r.counters for r in results}
 
-    mc = MulticoreModel(machine)
+    # Same --engine/--timing (or REPRO_ENGINE/REPRO_TIMING) selection as the
+    # slice measurements above, so a scalar-vs-columnar A/B governs the
+    # whole sweep rather than silently reverting to the defaults here.
+    mc = MulticoreModel(machine, engine=args.engine, timing=args.timing)
     points = mc.series_from_slices(slices, n, cores)
     print(f"{args.method} on {args.stencil} {n}x{n} ({machine.name}):")
     for p in points:

@@ -15,7 +15,7 @@ from __future__ import annotations
 import abc
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, NamedTuple, Sequence, Tuple
 
 from repro.isa.instructions import Instruction, PortClass
 
@@ -50,14 +50,17 @@ class Trace(List[Instruction]):
         return out
 
 
-@dataclass(frozen=True)
-class KernelBlock:
+class KernelBlock(NamedTuple):
     """One iteration of a kernel's block loop.
 
     ``key`` identifies the block (typically ``(i_band, j_block)`` grid-tile
     coordinates, with a leading plane index for 3D); ``points`` is the
     number of output grid points the block updates, used to extrapolate
     sampled timings to full-grid cycle counts.
+
+    A named tuple rather than a (frozen) dataclass: an 8192^2 nest holds
+    half a million blocks, and the C-level tuple constructor keeps
+    materializing them from dominating multicore sweeps.
     """
 
     key: Tuple[int, ...]

@@ -43,7 +43,7 @@ from repro.machine.compiled import (
     FunctionalProgram,
     TimingProgram,
     build_functional_program,
-    build_timing_program,
+    pooled_timing_program,
     trace_addresses,
     trace_signature,
 )
@@ -109,6 +109,7 @@ class RowTemplate:
 
     __slots__ = (
         "trace",
+        "signature",
         "key0",
         "addr0",
         "deltas",
@@ -127,8 +128,13 @@ class RowTemplate:
         key0: Tuple[int, ...],
         addr0: np.ndarray,
         deltas: Tuple[Tuple[int, np.ndarray], ...],
+        signature: Optional[Tuple] = None,
     ) -> None:
         self.trace = trace
+        #: Structural trace signature (addresses masked); the key that lets
+        #: shape classes of *different* kernels — multicore slice heights,
+        #: repeated sweeps — share one pooled timing program.
+        self.signature = signature if signature is not None else trace_signature(trace)
         self.key0 = key0
         self.addr0 = addr0
         #: ``(dimension, per-address word delta)`` for each varying dimension.
@@ -165,9 +171,14 @@ class RowTemplate:
         return addrs.tolist()
 
     def timing_program(self, config: MachineConfig) -> Optional[TimingProgram]:
-        """Lazily built scoreboard program (``None`` -> reference walk)."""
+        """Lazily built scoreboard program (``None`` -> reference walk).
+
+        Resolved through the global program pool, so equal-signature
+        templates under the same config share one program object (and with
+        it the columnar plan/memo state keyed on program identity).
+        """
         if self._timing is _UNBUILT or self._timing_config is not config:
-            self._timing = build_timing_program(self.trace, config)
+            self._timing = pooled_timing_program(self.trace, self.signature, config)
             self._timing_config = config
         return self._timing  # type: ignore[return-value]
 
@@ -304,7 +315,7 @@ class TraceCompiler:
             ):
                 return None
 
-        return RowTemplate(trace0, key0, addr0, tuple(deltas))
+        return RowTemplate(trace0, key0, addr0, tuple(deltas), signature=sig0)
 
     def _probe(
         self, key0: Tuple[int, ...], d: int, kp: int, sig0: Tuple

@@ -68,6 +68,34 @@ MIN_BATCH = 4
 MAX_SPAN_WORDS = 1 << 24
 
 
+def template_runs(entries: Sequence) -> List[Tuple[object, int, int]]:
+    """Group template-lookup results into maximal same-template runs.
+
+    ``entries`` holds, per block, either ``None`` (no template — reference
+    walk) or a ``(template, addrs)`` pair.  Returns ``(template_or_None,
+    lo, hi)`` half-open runs of consecutive blocks sharing one template
+    identity, in order.  This is the batching granularity both lockstep
+    functional replay and columnar timing replay operate on: everything a
+    run shares (program, address matrix, batch plan) is computed once per
+    run instead of once per block.
+    """
+    runs: List[Tuple[object, int, int]] = []
+    i = 0
+    n = len(entries)
+    while i < n:
+        entry = entries[i]
+        template = None if entry is None else entry[0]
+        j = i + 1
+        while j < n:
+            nxt = entries[j]
+            if (None if nxt is None else nxt[0]) is not template:
+                break
+            j += 1
+        runs.append((template, i, j))
+        i = j
+    return runs
+
+
 class BatchPlan:
     """Static batchability analysis of one :class:`FunctionalProgram`."""
 

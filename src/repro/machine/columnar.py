@@ -42,9 +42,15 @@ reorganizes stencil loops — hoist the regular part out and batch it:
   failed probe costs nothing but the clone).
 
 ``REPRO_TIMING=columnar|scalar`` (and ``--timing`` on the CLI) selects
-this engine; it only ever engages on the compiled engine's band-sampled
-path, where :class:`~repro.machine.timing.TimingEngine` drives one
-:class:`ColumnarReplayer` per run.
+this engine.  It engages on the compiled engine's band-sampled path *and*
+on full simulations' measured passes (the in-cache first pass that the
+pass-level fixed point cannot skip); ``REPRO_MEMO`` block-level modes keep
+the scalar memoized walk.  :class:`~repro.machine.timing.TimingEngine`
+drives one :class:`ColumnarReplayer` per run, but all runs of one engine
+share a :class:`ColumnarShare`: memory plans and the scoreboard memo are
+keyed on (pooled) program identity and relative context only, so a
+multicore sweep evaluates each distinct slice height against the same
+warmed state instead of rebuilding it per height.
 """
 
 from __future__ import annotations
@@ -55,6 +61,7 @@ import numpy as np
 
 from repro.isa.program import Kernel, KernelBlock
 from repro.kernels.template import RowTemplate, TraceCompiler
+from repro.machine.batched import template_runs
 from repro.machine.compiled import (
     K_LOAD,
     K_PRFM,
@@ -81,6 +88,24 @@ REPROBE_INTERVAL = 256
 SB_CHUNK = 48
 
 
+def _lru_victim(ways: Dict[int, int]) -> int:
+    """Smallest-tick key of a cache set — the LRU eviction victim.
+
+    Equivalent to ``min(ways, key=ways.__getitem__)`` (ticks are unique, so
+    there are no ties to break) but ~2.5x faster: one C-level pass over
+    ``items()`` instead of a hash probe per key.  Eviction runs once per
+    fill in the steady out-of-cache state, which makes this the single
+    hottest arithmetic in the memory phase.
+    """
+    it = iter(ways.items())
+    vk, vt = next(it)
+    for k, t in it:
+        if t < vt:
+            vk = k
+            vt = t
+    return vk
+
+
 class _MemPlan:
     """Per-program memory plan: flattened memops + step-level op list.
 
@@ -99,7 +124,16 @@ class _MemPlan:
     it issues to.
     """
 
-    __slots__ = ("m_ai", "m_off", "m_nw", "ops", "n_loads", "chunks")
+    __slots__ = (
+        "m_ai",
+        "m_off",
+        "m_nw",
+        "ops",
+        "n_loads",
+        "chunks",
+        "live_in",
+        "write_union",
+    )
 
     def __init__(self, program: TimingProgram) -> None:
         m_ai: List[int] = []
@@ -122,7 +156,9 @@ class _MemPlan:
                     m_ai.append(addr_idx)
                     m_off.append(offset)
                     m_nw.append(nwords)
-                ops.append((kind, lo, len(m_ai)))
+                # Uniform 4-tuples so the memory phase unpacks every op in
+                # one UNPACK_SEQUENCE (the trailing 0 pads load/store ops).
+                ops.append((kind, lo, len(m_ai), 0))
                 if kind == K_LOAD:
                     n_loads += 1
         self.m_ai = np.asarray(m_ai, dtype=np.int64)
@@ -130,6 +166,19 @@ class _MemPlan:
         self.m_nw = np.asarray(m_nw, dtype=np.int64)
         self.ops = tuple(ops)
         self.n_loads = n_loads
+
+        # Block-level scoreboard frame: slots read before written anywhere
+        # in the program (the only entry values the whole-block walk can
+        # observe) and slots written anywhere (the only ones it can change).
+        written_all: set = set()
+        live_all: set = set()
+        for dep_slots, write_slots, _port, _lat, _ii, _kind, _memops in program.steps:
+            for s in dep_slots:
+                if s not in written_all:
+                    live_all.add(s)
+            written_all.update(write_slots)
+        self.live_in = tuple(sorted(live_all))
+        self.write_union = tuple(sorted(written_all))
 
         chunks: List[Tuple] = []
         steps = program.steps
@@ -162,6 +211,38 @@ class _MemPlan:
         self.chunks = tuple(chunks)
 
 
+class ColumnarShare:
+    """Cross-run columnar state: memory plans and scoreboard memo tables.
+
+    Everything here is keyed on :class:`TimingProgram` identity, and
+    programs are pooled per ``(config, structural signature)``
+    (:func:`repro.machine.compiled.pooled_timing_program`); the memo keys
+    themselves are purely relative (translation-invariant contexts).  One
+    share is therefore sound across kernels, passes, runs and multicore
+    slice heights *of the same config* — which is exactly the lifetime of a
+    :class:`~repro.machine.timing.TimingEngine`, the object that owns one.
+    Replayers constructed without an explicit share get a private one.
+    """
+
+    __slots__ = ("plans", "pmemo", "bmemo")
+
+    def __init__(self) -> None:
+        #: program -> flattened memory plan.
+        self.plans: Dict[TimingProgram, _MemPlan] = {}
+        #: program -> per-chunk {relative scoreboard context -> outputs}.
+        self.pmemo: Dict[TimingProgram, List[Dict[Tuple, Tuple]]] = {}
+        #: program -> whole-block {relative scoreboard context -> outputs};
+        #: tried before the chunk tables, hit when an entire block's entry
+        #: context recurs (the common case once a band reaches steady state).
+        self.bmemo: Dict[TimingProgram, Dict[Tuple, Tuple]] = {}
+
+    def drop(self, program: TimingProgram) -> None:
+        """Forget everything recorded for ``program`` (demotion path)."""
+        self.plans.pop(program, None)
+        self.pmemo.pop(program, None)
+        self.bmemo.pop(program, None)
+
+
 class _ClassState:
     """Probe/demotion lifecycle of one shape class (one template)."""
 
@@ -178,10 +259,10 @@ class _ClassState:
 class ColumnarReplayer:
     """Band-at-a-time columnar replay driver for one kernel run.
 
-    Owns the kernel's :class:`~repro.kernels.template.TraceCompiler` and a
-    scoreboard-phase memo; mutates the supplied pipe exactly as the scalar
-    per-block walk would (bit-identical counters and state, enforced by
-    the probe lifecycle and ``tests/test_columnar_timing.py``).
+    Owns the kernel's :class:`~repro.kernels.template.TraceCompiler` and
+    (a view of) a :class:`ColumnarShare`; mutates the supplied pipe exactly
+    as the scalar per-block walk would (bit-identical counters and state,
+    enforced by the probe lifecycle and ``tests/test_columnar_timing.py``).
     """
 
     def __init__(
@@ -191,14 +272,16 @@ class ColumnarReplayer:
         pipe: PipelineModel,
         nest=None,
         compiler: Optional[TraceCompiler] = None,
+        share: Optional[ColumnarShare] = None,
     ) -> None:
         self.kernel = kernel
         self.config = config
         self.pipe = pipe
         self.compiler = compiler or TraceCompiler(kernel, nest=nest)
-        self._plans: Dict[TimingProgram, _MemPlan] = {}
-        #: program -> per-chunk {relative scoreboard context -> outputs}.
-        self._pmemo: Dict[TimingProgram, List[Dict[Tuple, Tuple]]] = {}
+        self.share = share if share is not None else ColumnarShare()
+        self._plans = self.share.plans
+        self._pmemo = self.share.pmemo
+        self._bmemo = self.share.bmemo
         self._classes: Dict[RowTemplate, _ClassState] = {}
         self._band_no = 0
         self._line_words = config.l1.line_bytes // 8
@@ -258,33 +341,21 @@ class ColumnarReplayer:
         # front (same order as the scalar walk) lets runs of consecutive
         # same-template blocks share one vectorized address computation.
         entries = [compiler.lookup(block) for block in band]
-        i = 0
-        n = len(band)
-        while i < n:
-            entry = entries[i]
-            program = None
-            if entry is not None:
-                template, _ = entry
-                program = template.timing_program(config)
+        for template, i, j in template_runs(entries):
+            program = None if template is None else template.timing_program(config)
             if program is None:
-                self._run_scalar_trace(band[i])
-                i += 1
+                for k in range(i, j):
+                    self._run_scalar_trace(band[k])
                 continue
             state = self._classes.get(template)
             if state is None:
                 state = _ClassState(band_no)
                 self._classes[template] = state
             if state.demoted:
-                self._run_scalar_template(program, entry[1])
-                i += 1
+                for k in range(i, j):
+                    self._run_scalar_template(program, entries[k][1])
                 continue
-            j = i + 1
-            while j < n:
-                nxt = entries[j]
-                if nxt is None or nxt[0] is not template:
-                    break
-                j += 1
-            i = self._run_columnar(template, program, state, entries, i, j, band_no)
+            self._run_columnar(template, program, state, entries, i, j, band_no)
         # Leave the pipe fully consistent at band boundaries (snapshots and
         # state signatures are taken between bands).
         self._writeback_slots()
@@ -463,8 +534,9 @@ class ColumnarReplayer:
         state.demoted = True
         self.demotions += 1
         program = template.timing_program(self.config)
-        self._pmemo.pop(program, None)
-        self._plans.pop(program, None)
+        # Drop shared state too: other replayers on the same share rebuild
+        # plans/memos on demand, so discarding is always safe.
+        self.share.drop(program)
 
     # -- phase one: memory ----------------------------------------------------
 
@@ -485,7 +557,6 @@ class ColumnarReplayer:
         because nothing in the cache or prefetcher ever reads it.
         """
         hierarchy = pipe.hierarchy
-        software_prefetch = hierarchy.software_prefetch
         l1 = hierarchy.l1
         l1_stats = l1.stats
         l1_num_sets = l1.num_sets
@@ -513,6 +584,8 @@ class ColumnarReplayer:
         mem_writes = 0
         prefetch_fills = 0
         prefetches_issued = 0
+        pf_probes = 0
+        pf_probe_hits = 0
         # Both cache ticks run in locals and resynchronize around the one
         # remaining method call (software prefetch) — everything else, the
         # full miss path and the stream fills included, is inlined below
@@ -522,18 +595,199 @@ class ColumnarReplayer:
         levels_out: List[int] = []
         append_level = levels_out.append
 
-        for op in plan.ops:
-            kind = op[0]
+        lpp_minus1 = LINES_PER_PAGE - 1
+
+        pf_pop = pf_streams.pop
+
+        def advance_stream(line: int, stream) -> None:
+            # Inlined stream advance + _issue_ahead/hardware_prefetch (the
+            # fill code mirrors the demand path's install/writeback chain).
+            # Shared by the L1-hit fast paths and the general training loop
+            # below; the caller has already popped ``line - 1``'s stream
+            # (one hash probe doubles as the membership test).  Targets
+            # ascend, so _issue_ahead's per-target page check is equivalent
+            # to clipping the range at the page's last line up front —
+            # which also turns the issue counter into one bulk add.
+            nonlocal l1_tick, l2_tick, mem_reads, mem_writes
+            nonlocal prefetch_fills, prefetches_issued
+            stream.advances += 1
+            stream.tail_line = line
+            pf_streams[line] = stream
+            if stream.advances == pf_confirm:
+                pf.streams_confirmed += 1
+            if stream.advances >= pf_confirm:
+                stop = line + pf_depth
+                page_end = line - line % LINES_PER_PAGE + lpp_minus1
+                if stop > page_end:
+                    stop = page_end
+                prefetches_issued += stop - line
+                for target in range(line + 1, stop + 1):
+                    ways = l1_sets[target % l1_num_sets]
+                    if target not in ways:
+                        ways2 = l2_sets[target % l2_num_sets]
+                        if target in ways2:
+                            l2_tick += 1
+                            ways2[target] = l2_tick
+                        else:
+                            mem_reads += 1
+                            l2_tick += 1
+                            ways2[target] = l2_tick
+                            if len(ways2) > l2_assoc:
+                                v2 = _lru_victim(ways2)
+                                del ways2[v2]
+                                if v2 in l2_dirty:
+                                    l2_dirty.discard(v2)
+                                    l2_stats.writebacks += 1
+                                    mem_writes += 1
+                        l1_tick += 1
+                        ways[target] = l1_tick
+                        if len(ways) > l1_assoc:
+                            victim = _lru_victim(ways)
+                            del ways[victim]
+                            if victim in l1_dirty:
+                                l1_dirty.discard(victim)
+                                l1_stats.writebacks += 1
+                                wv = l2_sets[victim % l2_num_sets]
+                                if victim in wv:
+                                    l2_dirty.add(victim)
+                                else:
+                                    l2_tick += 1
+                                    wv[victim] = l2_tick
+                                    l2_dirty.add(victim)
+                                    if len(wv) > l2_assoc:
+                                        v2 = _lru_victim(wv)
+                                        del wv[v2]
+                                        if v2 in l2_dirty:
+                                            l2_dirty.discard(v2)
+                                            l2_stats.writebacks += 1
+                                            mem_writes += 1
+                        prefetch_fills += 1
+
+        # L1-hit fast paths.  Vector loads and stores are narrower than a
+        # cache line, so most operations touch exactly one line or
+        # straddle two — and out of cache the prefetcher keeps the demand
+        # stream hitting in L1.  Probing all touched lines up front (peeks
+        # only, no state change) proves the demand pass reduces to tick
+        # refreshes with ``level == 1``, so the allocation branch of the
+        # training pass is dead and training collapses to the per-line
+        # move/advance checks spelled out inline below — the exact
+        # ``_observe_line`` sequence the general walk runs, minus its
+        # loops.  Misses, wider spans, and multi-memop groups fall through
+        # to the general walk untouched.
+        for kind, a, b, c in plan.ops:
             if kind == K_PRFM:
-                l1._tick = l1_tick
-                l2._tick = l2_tick
-                software_prefetch(S_row[op[1]], op[2], write=op[3])
-                l1_tick = l1._tick
-                l2_tick = l2._tick
+                # Inlined CacheHierarchy.software_prefetch: the probe is
+                # counted in L1 PMU stats, misses pull the line through L2
+                # into L1 with the same install/writeback chain as the
+                # demand path — and no demand counters.  The plan records
+                # the PRFM's address operand like any other memop, so its
+                # line range is F_row/L_row like the rest.
+                first = F_row[a]
+                last = L_row[a]
+                pf_probes += last - first + 1
+                for line in range(first, last + 1):
+                    ways = l1_sets[line % l1_num_sets]
+                    if line in ways:
+                        l1_tick += 1
+                        ways[line] = l1_tick
+                        pf_probe_hits += 1
+                        continue
+                    ways2 = l2_sets[line % l2_num_sets]
+                    if line in ways2:
+                        l2_tick += 1
+                        ways2[line] = l2_tick
+                    else:
+                        mem_reads += 1
+                        l2_tick += 1
+                        ways2[line] = l2_tick
+                        if len(ways2) > l2_assoc:
+                            v2 = _lru_victim(ways2)
+                            del ways2[v2]
+                            if v2 in l2_dirty:
+                                l2_dirty.discard(v2)
+                                l2_stats.writebacks += 1
+                                mem_writes += 1
+                    l1_tick += 1
+                    ways[line] = l1_tick
+                    if c:
+                        l1_dirty.add(line)
+                    if len(ways) > l1_assoc:
+                        victim = _lru_victim(ways)
+                        del ways[victim]
+                        if victim in l1_dirty:
+                            l1_dirty.discard(victim)
+                            l1_stats.writebacks += 1
+                            wv = l2_sets[victim % l2_num_sets]
+                            if victim in wv:
+                                l2_dirty.add(victim)
+                            else:
+                                l2_tick += 1
+                                wv[victim] = l2_tick
+                                l2_dirty.add(victim)
+                                if len(wv) > l2_assoc:
+                                    v2 = _lru_victim(wv)
+                                    del wv[v2]
+                                    if v2 in l2_dirty:
+                                        l2_dirty.discard(v2)
+                                        l2_stats.writebacks += 1
+                                        mem_writes += 1
+                    prefetch_fills += 1
                 continue
+            if b - a == 1:
+                first = F_row[a]
+                last = L_row[a]
+                if first == last:
+                    ways = l1_sets[first % l1_num_sets]
+                    if first in ways:
+                        l1_tick += 1
+                        ways[first] = l1_tick
+                        demand_accesses += 1
+                        demand_hits += 1
+                        if kind == K_STORE:
+                            l1_dirty.add(first)
+                        else:
+                            append_level(1)
+                        if pf_on:
+                            if first in pf_streams:
+                                pf_move(first)
+                            else:
+                                stream = pf_pop(first - 1, None)
+                                if stream is not None:
+                                    advance_stream(first, stream)
+                        continue
+                elif last == first + 1:
+                    ways = l1_sets[first % l1_num_sets]
+                    if first in ways:
+                        waysb = l1_sets[last % l1_num_sets]
+                        if last in waysb:
+                            l1_tick += 1
+                            ways[first] = l1_tick
+                            l1_tick += 1
+                            waysb[last] = l1_tick
+                            demand_accesses += 2
+                            demand_hits += 2
+                            if kind == K_STORE:
+                                l1_dirty.add(first)
+                                l1_dirty.add(last)
+                            else:
+                                append_level(1)
+                            if pf_on:
+                                if first in pf_streams:
+                                    pf_move(first)
+                                else:
+                                    stream = pf_pop(first - 1, None)
+                                    if stream is not None:
+                                        advance_stream(first, stream)
+                                if last in pf_streams:
+                                    pf_move(last)
+                                else:
+                                    stream = pf_pop(first, None)
+                                    if stream is not None:
+                                        advance_stream(last, stream)
+                            continue
             is_store = kind == K_STORE
             worst = 1  # L1
-            for m in range(op[1], op[2]):
+            for m in range(a, b):
                 first = F_row[m]
                 last = L_row[m]
                 level = 1
@@ -543,9 +797,8 @@ class ColumnarReplayer:
                 # writeback chain (mirrors _access_line_miss/_fill_l1/_fill_l2
                 # plus CacheLevel.install; the lines installed here are never
                 # resident, so install's already-present branch is dead).
-                line = first
-                while True:
-                    demand_accesses += 1
+                demand_accesses += last - first + 1
+                for line in range(first, last + 1):
                     ways = l1_sets[line % l1_num_sets]
                     if line in ways:
                         l1_tick += 1
@@ -566,7 +819,7 @@ class ColumnarReplayer:
                             l2_tick += 1
                             ways2[line] = l2_tick
                             if len(ways2) > l2_assoc:
-                                v2 = min(ways2, key=ways2.__getitem__)
+                                v2 = _lru_victim(ways2)
                                 del ways2[v2]
                                 if v2 in l2_dirty:
                                     l2_dirty.discard(v2)
@@ -578,7 +831,7 @@ class ColumnarReplayer:
                         if is_store:
                             l1_dirty.add(line)
                         if len(ways) > l1_assoc:
-                            victim = min(ways, key=ways.__getitem__)
+                            victim = _lru_victim(ways)
                             del ways[victim]
                             if victim in l1_dirty:
                                 l1_dirty.discard(victim)
@@ -591,7 +844,7 @@ class ColumnarReplayer:
                                     wv[victim] = l2_tick
                                     l2_dirty.add(victim)
                                     if len(wv) > l2_assoc:
-                                        v2 = min(wv, key=wv.__getitem__)
+                                        v2 = _lru_victim(wv)
                                         del wv[v2]
                                         if v2 in l2_dirty:
                                             l2_dirty.discard(v2)
@@ -599,95 +852,24 @@ class ColumnarReplayer:
                                             mem_writes += 1
                         if lv > level:
                             level = lv
-                    if line == last:
-                        break
-                    line += 1
                 if pf_on:
                     # Training pass: inlined StreamPrefetcher._observe_line.
                     # Membership tests replace ``.get`` calls — the dominant
                     # steady-state case (line neither a stream tail nor one
                     # past a tail) then costs two C-level containment checks.
                     hit = level == 1
-                    line = first
-                    while True:
+                    for line in range(first, last + 1):
                         if line in pf_streams:
                             pf_move(line)
-                        elif line - 1 in pf_streams:
-                            stream = pf_streams.pop(line - 1)
-                            stream.advances += 1
-                            stream.tail_line = line
-                            pf_streams[line] = stream
-                            if stream.advances == pf_confirm:
-                                pf.streams_confirmed += 1
-                            if stream.advances >= pf_confirm:
-                                # Inlined _issue_ahead + hardware_prefetch,
-                                # fills included (same install/writeback
-                                # code as the demand path above).
-                                page = line // LINES_PER_PAGE
-                                for target in range(
-                                    line + 1, line + pf_depth + 1
-                                ):
-                                    if target // LINES_PER_PAGE != page:
-                                        break
-                                    ways = l1_sets[target % l1_num_sets]
-                                    if target not in ways:
-                                        ways2 = l2_sets[target % l2_num_sets]
-                                        if target in ways2:
-                                            l2_tick += 1
-                                            ways2[target] = l2_tick
-                                        else:
-                                            mem_reads += 1
-                                            l2_tick += 1
-                                            ways2[target] = l2_tick
-                                            if len(ways2) > l2_assoc:
-                                                v2 = min(
-                                                    ways2,
-                                                    key=ways2.__getitem__,
-                                                )
-                                                del ways2[v2]
-                                                if v2 in l2_dirty:
-                                                    l2_dirty.discard(v2)
-                                                    l2_stats.writebacks += 1
-                                                    mem_writes += 1
-                                        l1_tick += 1
-                                        ways[target] = l1_tick
-                                        if len(ways) > l1_assoc:
-                                            victim = min(
-                                                ways, key=ways.__getitem__
-                                            )
-                                            del ways[victim]
-                                            if victim in l1_dirty:
-                                                l1_dirty.discard(victim)
-                                                l1_stats.writebacks += 1
-                                                wv = l2_sets[
-                                                    victim % l2_num_sets
-                                                ]
-                                                if victim in wv:
-                                                    l2_dirty.add(victim)
-                                                else:
-                                                    l2_tick += 1
-                                                    wv[victim] = l2_tick
-                                                    l2_dirty.add(victim)
-                                                    if len(wv) > l2_assoc:
-                                                        v2 = min(
-                                                            wv,
-                                                            key=wv.__getitem__,
-                                                        )
-                                                        del wv[v2]
-                                                        if v2 in l2_dirty:
-                                                            l2_dirty.discard(v2)
-                                                            l2_stats.writebacks += 1
-                                                            mem_writes += 1
-                                        prefetch_fills += 1
-                                    prefetches_issued += 1
+                            continue
+                        stream = pf_pop(line - 1, None)
+                        if stream is not None:
+                            advance_stream(line, stream)
                         elif not hit:
                             pf_streams[line] = _Stream(tail_line=line)
                             pf.streams_allocated += 1
                             if len(pf_streams) > pf_max:
                                 pf_streams.popitem(last=False)
-                        if line == last:
-                            break
-                        line += 1
                 if level > worst:
                     worst = level
             if not is_store:
@@ -698,6 +880,8 @@ class ColumnarReplayer:
         l1_stats.demand_accesses += demand_accesses
         l1_stats.demand_hits += demand_hits
         l1_stats.prefetch_fills += prefetch_fills
+        l1_stats.prefetch_probes += pf_probes
+        l1_stats.prefetch_probe_hits += pf_probe_hits
         l2_stats.demand_accesses += l2_demand_accesses
         l2_stats.demand_hits += l2_demand_hits
         hierarchy.mem_lines_read += mem_reads
@@ -715,30 +899,89 @@ class ColumnarReplayer:
         pipe: PipelineModel,
         slots: List[int],
     ) -> None:
-        """Advance the scoreboard through the program, memoized per chunk.
+        """Advance the scoreboard through the program, memoized at two grains.
 
         The max-plus issue recurrence is translation-invariant: shifting
         every entry value (frontier, live slots, busy pipes, cycle) by a
-        constant shifts every output by the same constant.  Each chunk is
-        keyed on its *complete* relative entry context — live-in slot
-        offsets clamped at the frontier (values at or below it can never
-        raise an issue cycle), pipe offsets with rank-order for stale pipes
-        (rank decides the least-loaded choice) for the ports the chunk
-        issues to, the cycle lag and issue count, and the chunk's slice of
-        the level vector that sets its load penalties — so a hit is exact
-        by construction and needs no verification.
+        constant shifts every output by the same constant.  A context is
+        keyed on its *complete* relative entry state — live-in slot offsets
+        clamped at the frontier (values at or below it can never raise an
+        issue cycle), pipe offsets with rank-order for stale pipes (rank
+        decides the least-loaded choice), the cycle lag and issue count, and
+        the slice of the level vector that sets the load penalties — so a
+        hit is exact by construction and needs no verification.
+
+        The *whole-block* table is tried first: in a band's steady state the
+        entire entry context recurs block after block and one hit replaces
+        the chunk loop outright.  Blocks whose global context is novel
+        (boundary lines, set-conflict beats) fall back to the per-chunk
+        tables, which still hit on the locally-steady stretches, and the
+        chunk walk's outcome is recorded at block grain on the way out.
         """
         port_free = pipe._port_free
         pipes_by_id = [port_free[p] for p in program.ports]
-        tables = self._pmemo.get(program)
-        if tables is None:
-            tables = [{} for _ in plan.chunks]
-            self._pmemo[program] = tables
 
         makespan = pipe.makespan
         cycle = pipe._cycle
         issued = pipe._issued_this_cycle
         frontier = pipe._frontier
+
+        # -- whole-block fast path ----------------------------------------
+        bf0 = frontier
+        bsb = tuple([(v - bf0) if (v := slots[s]) > bf0 else 0 for s in plan.live_in])
+        bsig = []
+        for pipes in pipes_by_id:
+            if len(pipes) == 1:
+                p = pipes[0]
+                bsig.append((p - bf0) if p > bf0 else -1)
+            elif len(pipes) == 2:
+                p0, p1 = pipes
+                if p0 > bf0:
+                    bsig.append((p0 - bf0, p1 - bf0) if p1 > bf0 else (p0 - bf0, -2))
+                elif p1 > bf0:
+                    bsig.append((-2, p1 - bf0))
+                elif p0 == p1:
+                    bsig.append((-2, -2))
+                else:
+                    bsig.append((-2, -1) if p0 < p1 else (-1, -2))
+            else:
+                bsig.append(_pipes_key(pipes, bf0))
+        btable = self._bmemo.get(program)
+        if btable is None:
+            btable = self._bmemo[program] = {}
+        bkey = (bsb, tuple(bsig), bf0 - cycle, issued, levels)
+        bentry = btable.get(bkey)
+        if bentry is not None:
+            slots_out, pipes_out, frontier_rel, cycle_lag, issued, done_rel = bentry
+            for s, rel in slots_out:
+                slots[s] = bf0 + rel
+            for pid, jj, rel in pipes_out:
+                pipes_by_id[pid][jj] = bf0 + rel
+            frontier = bf0 + frontier_rel
+            cycle = frontier - cycle_lag
+            done = bf0 + done_rel
+            if done > makespan:
+                makespan = done
+            pipe._frontier = frontier
+            pipe._cycle = cycle
+            pipe._issued_this_cycle = issued
+            pipe.makespan = makespan
+            pipe.instructions_retired += program.count
+            by_port = pipe.instructions_by_port
+            for port, count in program.port_counts.items():
+                by_port[port] += count
+            pipe.flops += program.flops
+            pipe.useful_flops += program.useful_flops
+            pipe.sw_prefetches += program.n_prfm
+            return
+
+        # -- chunk loop (block miss) --------------------------------------
+        tables = self._pmemo.get(program)
+        if tables is None:
+            tables = [{} for _ in plan.chunks]
+            self._pmemo[program] = tables
+        assigned_all: set = set()
+        block_done = 0
         for chunk, table in zip(plan.chunks, tables):
             steps, live_in, write_out, port_ids, lev_lo, lev_hi = chunk
             f0 = frontier
@@ -778,11 +1021,30 @@ class ColumnarReplayer:
                 slots[s] = f0 + rel
             for pid, jj, rel in pipes_out:
                 pipes_by_id[pid][jj] = f0 + rel
+                assigned_all.add((pid, jj))
             frontier = f0 + frontier_rel
             cycle = frontier - cycle_lag
             done = f0 + done_rel
+            if done > block_done:
+                block_done = done
             if done > makespan:
                 makespan = done
+
+        # Record the block outcome for the fast path.  Only pipes some
+        # chunk assigned are recorded — unassigned pipes keep their
+        # (possibly sub-frontier) absolute values, exactly as the scalar
+        # walk leaves them, and the key pins their entry encoding.
+        btable[bkey] = (
+            tuple((s, slots[s] - bf0) for s in plan.write_union),
+            tuple(
+                (pid, jj, pipes_by_id[pid][jj] - bf0)
+                for pid, jj in sorted(assigned_all)
+            ),
+            frontier - bf0,
+            frontier - cycle,
+            issued,
+            block_done - bf0,
+        )
 
         pipe._frontier = frontier
         pipe._cycle = cycle

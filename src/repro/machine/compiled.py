@@ -355,6 +355,36 @@ def build_timing_program(
     )
 
 
+#: Shared timing programs keyed by (config identity, trace signature).
+#: Every field of a :class:`TimingProgram` derives from the instructions'
+#: non-address fields (exactly what :func:`trace_signature` captures) plus
+#: the machine's latency/port tables, so two traces with equal signatures
+#: lower to interchangeable programs under the same config — templates of
+#: different kernels (multicore slice heights in particular) can then share
+#: one program object, and with it every plan/memo layer keyed on program
+#: identity.  The value keeps a strong reference to the config so a dead
+#: config's ``id()`` can never be recycled into a stale hit.
+_PROGRAM_POOL: Dict[Tuple, Tuple[MachineConfig, Optional[TimingProgram]]] = {}
+
+
+def pooled_timing_program(
+    trace: Sequence[Instruction], signature: Tuple, config: MachineConfig
+) -> Optional[TimingProgram]:
+    """Build (or reuse) the timing program for a trace with known signature."""
+    key = (id(config), signature)
+    cached = _PROGRAM_POOL.get(key)
+    if cached is not None:
+        return cached[1]
+    program = build_timing_program(trace, config)
+    _PROGRAM_POOL[key] = (config, program)
+    return program
+
+
+def clear_program_pool() -> None:
+    """Drop the shared program pool (tests / memory hygiene)."""
+    _PROGRAM_POOL.clear()
+
+
 # -- functional program ------------------------------------------------------
 
 #: Functional opcodes (PRFM and SCALAR_OP have no architectural effect and

@@ -69,11 +69,33 @@ class ScalingPoint:
 
 
 class MulticoreModel:
-    """Strong-scaling evaluation for one machine configuration."""
+    """Strong-scaling evaluation for one machine configuration.
 
-    def __init__(self, config: MachineConfig) -> None:
+    ``engine``/``timing`` select the replay engine and sampled-replay
+    strategy exactly as on :class:`~repro.machine.timing.TimingEngine`
+    (``None`` defers to ``REPRO_ENGINE``/``REPRO_TIMING``); alternatively a
+    fully constructed engine can be injected via ``timing_engine``.  One
+    engine serves the whole sweep on purpose: under columnar timing its
+    share holds the memory plans and scoreboard memo tables, so every
+    distinct slice height after the first replays against already-warmed
+    state (slice kernels differ only in row count, and their programs pool
+    by structural signature).
+    """
+
+    def __init__(
+        self,
+        config: MachineConfig,
+        engine: Optional[str] = None,
+        timing: Optional[str] = None,
+        timing_engine: Optional[TimingEngine] = None,
+    ) -> None:
         self.config = config
-        self.engine = TimingEngine(config)
+        if timing_engine is not None:
+            if timing_engine.config is not config:
+                raise ValueError("timing_engine was built for a different config")
+            self.engine = timing_engine
+        else:
+            self.engine = TimingEngine(config, engine=engine, timing=timing)
 
     def run_slice(
         self,
@@ -92,9 +114,20 @@ class MulticoreModel:
         if cores < 1:
             raise ValueError("core count must be >= 1")
         compute_cycles = slice_counters.cycles
-        dram_bytes = float(slice_counters.dram_bytes(self.config.l1.line_bytes))
+        # The counters record the line size they were collected at; forcing
+        # this config's L1 line size would silently mis-scale DRAM traffic
+        # for counters measured on a machine with a different line size.
+        dram_bytes = float(slice_counters.dram_bytes())
         bandwidth = self.config.mem_bandwidth_bytes_per_cycle
-        bw_cycles = cores * dram_bytes / bandwidth if bandwidth > 0 else 0.0
+        if bandwidth <= 0:
+            # A non-positive bandwidth used to mean "never bandwidth-bound",
+            # which turns the contention model into a no-op without any
+            # signal to the caller; a config like that is a setup error.
+            raise ValueError(
+                "mem_bandwidth_bytes_per_cycle must be positive for the "
+                f"contention bound, got {bandwidth!r}"
+            )
+        bw_cycles = cores * dram_bytes / bandwidth
         cycles = max(compute_cycles, bw_cycles)
         total_points = cores * slice_counters.points
         seconds = cycles / (self.config.clock_ghz * 1e9)

@@ -36,7 +36,7 @@ from repro.machine.cache import CacheHierarchy
 LINES_PER_PAGE = 64
 
 
-@dataclass
+@dataclass(slots=True)
 class _Stream:
     tail_line: int
     advances: int = 0

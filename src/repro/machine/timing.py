@@ -125,6 +125,20 @@ class TimingEngine:
                 f"unknown timing {timing!r}; expected one of {TIMING_MODES}"
             )
         self.timing = timing
+        #: Engine-lifetime columnar state (lazily built): memory plans and
+        #: scoreboard memo tables, shared by every columnar run this engine
+        #: drives — successive runs, measured passes and multicore slice
+        #: heights all warm the same tables (sound because everything is
+        #: keyed on pooled program identity + relative context; see
+        #: :class:`repro.machine.columnar.ColumnarShare`).
+        self._share = None
+
+    def _columnar_share(self):
+        if self._share is None:
+            from repro.machine.columnar import ColumnarShare
+
+            self._share = ColumnarShare()
+        return self._share
 
     # ------------------------------------------------------------------
 
@@ -206,12 +220,41 @@ class TimingEngine:
 
     def _run_full(self, kernel: Kernel, nest, warm: bool, iters: int = 1) -> PerfCounters:
         pipe = PipelineModel(self.config)
-        run_block = self._block_runner(kernel, pipe, nest=nest)
 
-        def one_pass() -> None:
-            pipe.process_trace(kernel.preamble())
-            for block in nest:
-                run_block(block)
+        use_columnar = False
+        if self.engine == "compiled" and self.timing == "columnar":
+            from repro.machine.memo import memo_enabled
+
+            # Columnar replay vectorizes the first pass the same way it
+            # vectorizes sampled bands; the block-level REPRO_MEMO modes
+            # keep the scalar memoized walk (their exact-key replay already
+            # collapses warm passes, and the diagnostic value of running
+            # them lies in exercising that layer).
+            use_columnar = not memo_enabled()
+
+        if use_columnar:
+            from repro.machine.columnar import ColumnarReplayer
+
+            replayer = ColumnarReplayer(
+                kernel, self.config, pipe, nest=nest, share=self._columnar_share()
+            )
+            # bands() lists blocks grouped by outer index in iteration
+            # order, so driving band-at-a-time preserves the exact block
+            # sequence of the scalar loop below.
+            bands = nest.bands()
+
+            def one_pass() -> None:
+                pipe.process_trace(kernel.preamble())
+                for band in bands:
+                    replayer.process_band(band)
+
+        else:
+            run_block = self._block_runner(kernel, pipe, nest=nest)
+
+            def one_pass() -> None:
+                pipe.process_trace(kernel.preamble())
+                for block in nest:
+                    run_block(block)
 
         if warm:
             one_pass()
@@ -273,14 +316,10 @@ class TimingEngine:
 
         warmup = min(plan.warmup_bands, max(len(bands) - 1, 0))
         if self.engine == "compiled" and self.timing == "columnar":
-            # Columnar replay is scoped to the sampled path on purpose: it
-            # pays off exactly where cache state never recurs (so the pass
-            # and block memo layers can't fire), and staying out of the
-            # full-simulation path keeps the in-cache memo speedups intact.
             from repro.machine.columnar import ColumnarReplayer
 
             run_band = ColumnarReplayer(
-                kernel, self.config, pipe, nest=nest
+                kernel, self.config, pipe, nest=nest, share=self._columnar_share()
             ).process_band
         else:
             run_block = self._block_runner(kernel, pipe, nest=nest)
