@@ -23,71 +23,30 @@ import hashlib
 import json
 import os
 import tempfile
-from functools import lru_cache
 from pathlib import Path
 from typing import Dict, Optional, Tuple
 
 import numpy as np
 
 from repro.kernels.base import KernelOptions
+
+# The digest helpers moved to :mod:`repro.machine.artifacts` so the compile
+# layer can key its own artifacts on them without importing the bench
+# harness; they are re-exported here for existing callers.
+from repro.machine.artifacts import (  # noqa: F401  (re-exports)
+    _SIMULATION_PACKAGES,
+    code_version,
+    machine_digest,
+    machine_fingerprint,
+    prune_tree,
+    scan_tree,
+)
 from repro.machine.config import MachineConfig
 from repro.machine.perf import PerfCounters
 from repro.machine.timing import SamplePlan
 
 #: Bump to invalidate every cache entry regardless of source hashing.
 SCHEMA_VERSION = 1
-
-#: Subpackages whose sources determine simulation results.  ``bench`` and
-#: ``cli`` are deliberately excluded: harness changes must not invalidate
-#: measurements.
-_SIMULATION_PACKAGES = ("isa", "machine", "kernels", "stencils", "core")
-
-
-@lru_cache(maxsize=1)
-def code_version() -> str:
-    """Digest of every simulation-relevant source file in the package."""
-    import repro
-
-    root = Path(repro.__file__).parent
-    digest = hashlib.sha256()
-    for package in _SIMULATION_PACKAGES:
-        for path in sorted((root / package).rglob("*.py")):
-            digest.update(str(path.relative_to(root)).encode())
-            digest.update(path.read_bytes())
-    return digest.hexdigest()[:16]
-
-
-def machine_fingerprint(config: MachineConfig) -> Dict:
-    """Canonical JSON-safe rendering of a machine configuration."""
-    return {
-        "name": config.name,
-        "ports": {port.name: count for port, count in sorted(
-            config.ports.items(), key=lambda kv: kv[0].name)},
-        "issue_width": config.issue_width,
-        "latencies": {
-            mnemonic: [spec.latency, spec.initiation_interval]
-            for mnemonic, spec in sorted(config.latencies.items())
-        },
-        "has_vector_fmla": config.has_vector_fmla,
-        "has_matrix_mla": config.has_matrix_mla,
-        "supports_inplace_accumulation": config.supports_inplace_accumulation,
-        "l1": dataclasses.asdict(config.l1),
-        "l2": dataclasses.asdict(config.l2),
-        "l1_load_latency": config.l1_load_latency,
-        "l2_load_latency": config.l2_load_latency,
-        "mem_load_latency": config.mem_load_latency,
-        "hw_prefetch_streams": config.hw_prefetch_streams,
-        "hw_prefetch_depth": config.hw_prefetch_depth,
-        "hw_prefetch_enabled": config.hw_prefetch_enabled,
-        "mem_bandwidth_bytes_per_cycle": config.mem_bandwidth_bytes_per_cycle,
-        "clock_ghz": config.clock_ghz,
-    }
-
-
-def machine_digest(config: MachineConfig) -> str:
-    """Short stable digest of a machine configuration."""
-    blob = json.dumps(machine_fingerprint(config), sort_keys=True)
-    return hashlib.sha256(blob.encode()).hexdigest()[:16]
 
 
 def cache_key(
@@ -199,3 +158,12 @@ class MeasurementCache:
             "misses": self.misses,
             "stores": self.stores,
         }
+
+    def disk_stats(self) -> Dict:
+        """Entry count / byte size / age span of the on-disk tree."""
+        return scan_tree(self.root)
+
+    def prune(self, max_age_days: Optional[float] = None,
+              max_bytes: Optional[int] = None) -> Dict:
+        """Delete entries by age and/or total size (oldest first)."""
+        return prune_tree(self.root, max_age_days=max_age_days, max_bytes=max_bytes)

@@ -11,7 +11,10 @@ regardless of completion order.
 Failure handling is per-cell: an exception inside a worker is captured as
 :attr:`CellResult.error` and the rest of the sweep proceeds.  When a disk
 cache directory is shared, workers populate it with atomic writes, so a
-warm second sweep performs zero simulations in any process.
+warm second sweep performs zero simulations in any process.  The same
+sharding drives ``action="precompile"``: instead of measuring, each worker
+pre-builds the compiled-artifact store entries (templates, programs,
+columnar plans) for its cells — the build side of ``repro precompile``.
 """
 
 from __future__ import annotations
@@ -20,7 +23,7 @@ import multiprocessing
 import sys
 import time
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.kernels.base import KernelOptions
 from repro.machine.config import MachineConfig
@@ -42,6 +45,8 @@ class CellResult:
     error: Optional[str] = None
     source: str = "simulated"
     seconds: float = 0.0
+    #: Per-cell summary for non-measurement actions (precompile).
+    info: Optional[Dict] = None
 
     @property
     def ok(self) -> bool:
@@ -50,24 +55,50 @@ class CellResult:
 
 # Worker-process state, built once per worker by the pool initializer.
 _WORKER_RUNNER = None
-_WORKER_ARGS: Tuple[bool, Optional[SamplePlan]] = (True, None)
+_WORKER_ARGS: Tuple[bool, Optional[SamplePlan], str] = (True, None, "measure")
 
 
-def _init_worker(machine, options, cache_dir, warm, plan, engine=None, timing=None) -> None:
+def _init_worker(
+    machine,
+    options,
+    cache_dir,
+    warm,
+    plan,
+    engine=None,
+    timing=None,
+    artifact_dir=None,
+    action="measure",
+) -> None:
     global _WORKER_RUNNER, _WORKER_ARGS
     from repro.bench.runner import ExperimentRunner
 
     _WORKER_RUNNER = ExperimentRunner(
-        machine, options, cache_dir=cache_dir, engine=engine, timing=timing
+        machine,
+        options,
+        cache_dir=cache_dir,
+        engine=engine,
+        timing=timing,
+        artifact_dir=artifact_dir,
     )
-    _WORKER_ARGS = (warm, plan)
+    _WORKER_ARGS = (warm, plan, action)
 
 
 def _run_cell(item: Tuple[int, Cell]) -> CellResult:
     index, (method, stencil, shape) = item
-    warm, plan = _WORKER_ARGS
+    warm, plan, action = _WORKER_ARGS
     start = time.perf_counter()
     try:
+        if action == "precompile":
+            info = _WORKER_RUNNER.precompile_cell(method, stencil, shape)
+            return CellResult(
+                index,
+                method,
+                stencil,
+                tuple(shape),
+                source="precompiled",
+                seconds=time.perf_counter() - start,
+                info=info,
+            )
         measurement = _WORKER_RUNNER.measure(method, stencil, shape, warm=warm, plan=plan)
         source = _WORKER_RUNNER.provenance(method, stencil, shape, warm=warm, plan=plan)
         return CellResult(
@@ -108,6 +139,8 @@ def run_cells(
     runner=None,
     engine: Optional[str] = None,
     timing: Optional[str] = None,
+    artifact_dir=None,
+    action: str = "measure",
 ) -> List[CellResult]:
     """Measure every cell, fanning out across ``jobs`` worker processes.
 
@@ -115,6 +148,10 @@ def run_cells(
     which is also the reference ordering/values the parallel path must
     reproduce.  Pass ``runner`` to adopt successful results into an existing
     :class:`~repro.bench.runner.ExperimentRunner`'s in-memory cache.
+
+    ``action="precompile"`` pre-builds the compiled-artifact store for every
+    cell instead of measuring; results carry a per-cell build summary in
+    :attr:`CellResult.info` and no counters.
     """
     indexed = list(enumerate(tuple(c) for c in cells))
     total = len(indexed)
@@ -135,9 +172,11 @@ def run_cells(
         global _WORKER_RUNNER, _WORKER_ARGS
         if runner is not None:
             # Reuse the caller's runner so its memo/disk caches serve directly.
-            _WORKER_RUNNER, _WORKER_ARGS = runner, (warm, plan)
+            _WORKER_RUNNER, _WORKER_ARGS = runner, (warm, plan, action)
         else:
-            _init_worker(machine, options, cache_dir, warm, plan, engine, timing)
+            _init_worker(
+                machine, options, cache_dir, warm, plan, engine, timing, artifact_dir, action
+            )
         try:
             for item in indexed:
                 results.append(_run_cell(item))
@@ -149,13 +188,23 @@ def run_cells(
         with ctx.Pool(
             processes=min(jobs, total),
             initializer=_init_worker,
-            initargs=(machine, options, cache_dir, warm, plan, engine, timing),
+            initargs=(
+                machine,
+                options,
+                cache_dir,
+                warm,
+                plan,
+                engine,
+                timing,
+                artifact_dir,
+                action,
+            ),
         ) as pool:
             for result in pool.imap_unordered(_run_cell, indexed):
                 results.append(result)
                 tick()
         results.sort(key=lambda r: r.index)
-        if runner is not None:
+        if runner is not None and action == "measure":
             for result in results:
                 if result.ok:
                     runner.adopt(

@@ -61,6 +61,7 @@ class ExperimentRunner:
         cache_dir=None,
         engine: Optional[str] = None,
         timing: Optional[str] = None,
+        artifact_dir=None,
     ) -> None:
         self.machine = machine if machine is not None else LX2()
         self.options = options or KernelOptions()
@@ -70,8 +71,13 @@ class ExperimentRunner:
         # ``timing`` selects the sampled-replay strategy of the compiled
         # engine ("columnar"/"scalar"); it IS part of the disk key (when
         # non-default) so a demotion-related divergence could never be
-        # masked by a cache hit from the other mode.
-        self.engine = TimingEngine(self.machine, engine=engine, timing=timing)
+        # masked by a cache hit from the other mode.  ``artifact_dir``
+        # additionally installs the compiled-artifact store, so template
+        # fitting / program lowering load from disk instead of rebuilding.
+        self.artifact_dir = artifact_dir
+        self.engine = TimingEngine(
+            self.machine, engine=engine, timing=timing, artifact_dir=artifact_dir
+        )
         self.disk_cache = MeasurementCache(cache_dir) if cache_dir else None
         self._cache: Dict[Tuple, Measurement] = {}
         #: key tuple -> "simulated" | "disk" (how the cell was first obtained).
@@ -199,6 +205,84 @@ class ExperimentRunner:
             runner=self,
             engine=self.engine.engine,
             timing=self.engine.timing,
+            artifact_dir=self.artifact_dir,
+        )
+
+    # ------------------------------------------------------------------
+
+    def precompile_cell(self, method: str, stencil: str, shape: Tuple[int, ...]) -> Dict:
+        """Pre-build the compiled artifacts for one cell (no simulation).
+
+        Compiles every shape class of the kernel's loop nest — templates,
+        pooled timing program, functional program — which, with an artifact
+        store active, persists them for later processes.  Raises
+        ``ValueError`` for methods inapplicable to the stencil/machine,
+        matching :meth:`measure`.
+        """
+        from repro.kernels.template import TraceCompiler
+
+        spec = stencil_benchmark(stencil)
+        kernel = self._build(method, spec, shape)
+        nest = kernel.loop_nest()
+        compiler = TraceCompiler(kernel, nest=nest, config=self.machine)
+        blocks = list(nest.blocks)
+        templated = 0
+        while True:
+            edge = compiler.edge
+            seen: set = set()
+            restart = False
+            for block in blocks:
+                cls = compiler._class_of(block.key)
+                if cls is None or cls in seen:
+                    continue
+                seen.add(cls)
+                entry = compiler.lookup(block)
+                if compiler.edge != edge:
+                    restart = True  # edge widened: class labels changed
+                    break
+                if entry is None:
+                    continue
+                template, _addrs = entry
+                # Force both lowerings; the pooled builders write through
+                # to the store.
+                if template.timing_program(self.machine) is not None:
+                    templated += 1
+                template.functional_program()
+            if not restart:
+                break
+        return {
+            "method": method,
+            "stencil": stencil,
+            "shape": list(shape),
+            "classes": len(seen),
+            "templated": templated,
+            "loaded": compiler.loaded_classes,
+            "compiled": compiler.compiled_classes,
+            "demoted_on_load": compiler.load_demotions,
+        }
+
+    def precompile(
+        self,
+        cells: Sequence[Tuple[str, str, Tuple[int, ...]]],
+        jobs: int = 1,
+        progress: bool = False,
+    ):
+        """Pre-build artifacts for many cells, optionally sharded (workers
+        share the store through atomic writes)."""
+        from repro.bench.parallel import run_cells
+
+        return run_cells(
+            cells,
+            machine=self.machine,
+            options=self.options,
+            cache_dir=self.disk_cache.root if self.disk_cache else None,
+            jobs=jobs,
+            progress=progress,
+            runner=self,
+            engine=self.engine.engine,
+            timing=self.engine.timing,
+            artifact_dir=self.artifact_dir,
+            action="precompile",
         )
 
     def sweep(
@@ -288,4 +372,17 @@ class ExperimentRunner:
             "simulated": sources.count("simulated"),
             "disk_hits": sources.count("disk"),
             "disk": self.disk_cache.stats() if self.disk_cache else None,
+        }
+
+    def artifact_stats(self) -> Dict:
+        """Compile-layer counters: artifact store, program pool, templates."""
+        from repro.kernels.template import compile_stats
+        from repro.machine.artifacts import active_store
+        from repro.machine.compiled import program_pool_stats
+
+        store = active_store()
+        return {
+            "store": store.stats() if store is not None else None,
+            "program_pool": program_pool_stats(),
+            "templates": compile_stats(),
         }

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import pathlib
 import sys
 from typing import List, Optional, Tuple
@@ -72,18 +73,24 @@ def _options(args) -> KernelOptions:
     return opts
 
 
-def _runner(args) -> ExperimentRunner:
-    cache_dir = getattr(args, "cache_dir", None)
-    if cache_dir is not None:
-        path = pathlib.Path(cache_dir)
+def _dir_arg(args, name: str) -> Optional[str]:
+    value = getattr(args, name, None)
+    if value is not None:
+        path = pathlib.Path(value)
         if path.exists() and not path.is_dir():
-            raise SystemExit(f"--cache-dir {cache_dir!r} exists and is not a directory")
+            flag = "--" + name.replace("_", "-")
+            raise SystemExit(f"{flag} {value!r} exists and is not a directory")
+    return value
+
+
+def _runner(args) -> ExperimentRunner:
     return ExperimentRunner(
         _machine(args.machine),
         _options(args),
-        cache_dir=cache_dir,
+        cache_dir=_dir_arg(args, "cache_dir"),
         engine=getattr(args, "engine", None),
         timing=getattr(args, "timing", None),
+        artifact_dir=_dir_arg(args, "artifact_dir"),
     )
 
 
@@ -250,7 +257,12 @@ def cmd_scaling(args) -> int:
     # Same --engine/--timing (or REPRO_ENGINE/REPRO_TIMING) selection as the
     # slice measurements above, so a scalar-vs-columnar A/B governs the
     # whole sweep rather than silently reverting to the defaults here.
-    mc = MulticoreModel(machine, engine=args.engine, timing=args.timing)
+    mc = MulticoreModel(
+        machine,
+        engine=args.engine,
+        timing=args.timing,
+        artifact_dir=_dir_arg(args, "artifact_dir"),
+    )
     points = mc.series_from_slices(slices, n, cores)
     print(f"{args.method} on {args.stencil} {n}x{n} ({machine.name}):")
     for p in points:
@@ -280,6 +292,90 @@ def cmd_scaling(args) -> int:
             ]
         },
     )
+    return 0
+
+
+def cmd_precompile(args) -> int:
+    from repro.machine.artifacts import ArtifactStore
+    from repro.stencils.library import SUITE_2D
+
+    artifact_dir = _dir_arg(args, "artifact_dir") or os.environ.get("REPRO_ARTIFACTS")
+    if not artifact_dir:
+        raise SystemExit("precompile needs --artifact-dir (or REPRO_ARTIFACTS)")
+    machines = [m.strip() for m in args.machines.split(",") if m.strip()]
+    methods = args.methods.split(",") if args.methods else list(METHODS)
+    stencils = args.stencils.split(",") if args.stencils else list(SUITE_2D)
+    cells = []
+    for stencil in stencils:
+        spec = benchmark(stencil)
+        shape = _shape(args.size, spec.ndim)
+        cells.extend((method, stencil, shape) for method in methods)
+
+    runner = None
+    for machine_name in machines:
+        runner = ExperimentRunner(
+            _machine(machine_name),
+            _options(args),
+            cache_dir=_dir_arg(args, "cache_dir"),
+            engine=getattr(args, "engine", None),
+            timing=getattr(args, "timing", None),
+            artifact_dir=artifact_dir,
+        )
+        results = runner.precompile(cells, jobs=args.jobs, progress=args.jobs > 1)
+        built = [r for r in results if r.ok]
+        skipped = [r for r in results if not r.ok]
+        for r in skipped:
+            # Inapplicable method/stencil/machine combinations raise
+            # ValueError, which is expected registry behaviour; anything
+            # else is a real failure worth surfacing.
+            if not (r.error or "").startswith("ValueError"):
+                print(f"  {machine_name}: {r.method}/{r.stencil} failed: {r.error}")
+        classes = sum((r.info or {}).get("classes", 0) for r in built)
+        compiled = sum((r.info or {}).get("compiled", 0) for r in built)
+        loaded = sum((r.info or {}).get("loaded", 0) for r in built)
+        print(
+            f"{machine_name}: {len(built)} cells precompiled — {classes} shape "
+            f"classes ({compiled} compiled live, {loaded} loaded from store), "
+            f"{len(skipped)} cells inapplicable"
+        )
+    if args.stats and runner is not None:
+        payload = runner.artifact_stats()
+        # Worker processes keep their own in-memory counters, so always
+        # include the on-disk truth alongside this process's view.
+        payload["disk"] = ArtifactStore(artifact_dir).disk_stats()
+        print(json.dumps(payload, indent=1, sort_keys=True))
+    return 0
+
+
+def cmd_cache(args) -> int:
+    from repro.bench.cache import MeasurementCache
+    from repro.machine.artifacts import ArtifactStore
+
+    cache_dir = _dir_arg(args, "cache_dir") or os.environ.get("REPRO_BENCH_CACHE")
+    artifact_dir = _dir_arg(args, "artifact_dir") or os.environ.get("REPRO_ARTIFACTS")
+    if not cache_dir and not artifact_dir:
+        raise SystemExit(
+            "cache needs --cache-dir and/or --artifact-dir "
+            "(or the REPRO_BENCH_CACHE / REPRO_ARTIFACTS env vars)"
+        )
+    payload = {}
+    if args.action == "stats":
+        if cache_dir:
+            payload["measurements"] = MeasurementCache(cache_dir).disk_stats()
+        if artifact_dir:
+            payload["artifacts"] = ArtifactStore(artifact_dir).disk_stats()
+    else:  # prune
+        if args.max_age_days is None and args.max_bytes is None:
+            raise SystemExit("prune needs --max-age-days and/or --max-bytes")
+        if cache_dir:
+            payload["measurements"] = MeasurementCache(cache_dir).prune(
+                max_age_days=args.max_age_days, max_bytes=args.max_bytes
+            )
+        if artifact_dir:
+            payload["artifacts"] = ArtifactStore(artifact_dir).prune(
+                max_age_days=args.max_age_days, max_bytes=args.max_bytes
+            )
+    print(json.dumps(payload, indent=1, sort_keys=True))
     return 0
 
 
@@ -320,6 +416,12 @@ def build_parser() -> argparse.ArgumentParser:
             choices=["columnar", "scalar"],
             default=None,
             help="band-sampled replay mode (default: REPRO_TIMING env var, then columnar)",
+        )
+        p.add_argument(
+            "--artifact-dir",
+            default=None,
+            help="compiled-artifact store directory (templates, lowered "
+            "programs, columnar plans; default: REPRO_ARTIFACTS env var)",
         )
         p.add_argument(
             "--profile",
@@ -365,6 +467,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--method", default="hstencil-prefetch")
     p.add_argument("--cores", default="1,2,4,8")
 
+    p = sub.add_parser("precompile", help="pre-build the compiled-artifact store")
+    engine(p)
+    p.add_argument("--machines", default="lx2,m4", help="comma-separated machine list")
+    p.add_argument("--methods", default=None, help="comma-separated (default: full registry)")
+    p.add_argument("--stencils", default=None, help="comma-separated (default: 2D suite)")
+    p.add_argument("--size", default="128x128", help="interior size per stencil")
+    p.add_argument("--unroll", type=int, default=None, help="tile unroll factor")
+    p.add_argument("--stats", action="store_true", help="print pool/store counters")
+
+    p = sub.add_parser("cache", help="inspect or prune the on-disk caches")
+    p.add_argument("action", choices=["stats", "prune"])
+    p.add_argument("--cache-dir", default=None, help="measurement cache directory")
+    p.add_argument("--artifact-dir", default=None, help="compiled-artifact store directory")
+    p.add_argument("--max-age-days", type=float, default=None, help="prune entries older than this")
+    p.add_argument("--max-bytes", type=int, default=None, help="prune oldest entries above this total size")
+
     return parser
 
 
@@ -396,7 +514,39 @@ def _profiled(handler, args) -> int:
     pstats.Stats(profiler, stream=buffer).sort_stats("cumulative").print_stats(20)
     table_path.write_text(buffer.getvalue())
     print(f"wrote {pstats_path} and {table_path}")
+    _print_compile_stats()
     return rc
+
+
+def _print_compile_stats() -> None:
+    """Compile-layer counters appended to every --profile run."""
+    from repro.kernels.template import compile_stats
+    from repro.machine.artifacts import active_store
+    from repro.machine.compiled import program_pool_stats
+
+    pool = program_pool_stats()
+    print(
+        "program pool: "
+        f"{pool['hits']} hits / {pool['misses']} misses / {pool['builds']} builds "
+        f"({pool['build_seconds']:.3f}s), {pool['evictions']} evictions, "
+        f"store {pool['store_hits']} hits / {pool['store_writes']} writes"
+    )
+    tmpl = compile_stats()
+    print(
+        "templates: "
+        f"{tmpl['compiled_classes']} compiled ({tmpl['fit_seconds']:.3f}s fit, "
+        f"{tmpl['probe_emits']} probe emits), "
+        f"{tmpl['loaded_classes']} loaded ({tmpl['verify_seconds']:.3f}s verify), "
+        f"{tmpl['load_demotions']} demoted on load"
+    )
+    store = active_store()
+    if store is not None:
+        s = store.stats()
+        print(
+            "artifact store: "
+            f"{s['hits']} hits / {s['misses']} misses / {s['stores']} stores "
+            f"({s['root']})"
+        )
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -408,6 +558,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "listing": cmd_listing,
         "verify": cmd_verify,
         "scaling": cmd_scaling,
+        "precompile": cmd_precompile,
+        "cache": cmd_cache,
     }[args.command]
     if getattr(args, "profile", False):
         return _profiled(handler, args)

@@ -34,15 +34,18 @@ demoted to the reference walk — correctness never depends on the fit.
 
 from __future__ import annotations
 
+import dataclasses
+from time import perf_counter
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.isa.program import Kernel, KernelBlock, Trace
+from repro.machine import artifacts
 from repro.machine.compiled import (
     FunctionalProgram,
     TimingProgram,
-    build_functional_program,
+    pooled_functional_program,
     pooled_timing_program,
     trace_addresses,
     trace_signature,
@@ -60,6 +63,67 @@ EDGE = 1
 MAX_EDGE = 2
 
 _UNBUILT = object()
+#: Sentinel distinguishing "no stored entry" from a stored demotion verdict.
+_MISS = object()
+
+#: Process-wide template-compilation accounting, split into the buckets the
+#: cold-start guard measures: ``fit_seconds`` is live compile work (probe
+#: emits + affine fits), ``verify_seconds`` is the probe-on-load check a
+#: store-loaded template must pass before being trusted.
+COMPILE_STATS: Dict[str, float] = {}
+
+
+def reset_compile_stats() -> None:
+    COMPILE_STATS.update(
+        compiled_classes=0,
+        loaded_classes=0,
+        load_demotions=0,
+        probe_emits=0,
+        verify_emits=0,
+        fit_seconds=0.0,
+        verify_seconds=0.0,
+    )
+
+
+reset_compile_stats()
+
+
+def compile_stats() -> Dict[str, float]:
+    """Snapshot of the process-wide template-compilation counters."""
+    return dict(COMPILE_STATS)
+
+
+def _spec_fingerprint(spec) -> Dict:
+    """JSON-safe identity of a stencil spec (taps included)."""
+    return {
+        "name": spec.name,
+        "pattern": spec.pattern,
+        "ndim": spec.ndim,
+        "radius": spec.radius,
+        "planes": {
+            str(dz): np.asarray(plane).tolist() for dz, plane in sorted(spec.planes.items())
+        },
+    }
+
+
+def _grid_fingerprint(grid) -> Dict:
+    """JSON-safe identity of a grid's memory layout.
+
+    ``base`` and the strides pin the absolute word addresses a template's
+    ``addr0`` embeds, so two layouts that differ in any of these can never
+    share a bundle.
+    """
+    return {
+        "name": grid.name,
+        "rows": grid.rows,
+        "cols": grid.cols,
+        "depth": getattr(grid, "depth", None),
+        "radius": grid.radius,
+        "base": grid.base,
+        "row_stride": grid.row_stride,
+        "left_pad": grid.left_pad,
+        "plane_stride": getattr(grid, "plane_stride", None),
+    }
 
 
 def _frame_analysis(
@@ -120,6 +184,7 @@ class RowTemplate:
         "_functional",
         "_timing",
         "_timing_config",
+        "_sig_digest",
     )
 
     def __init__(
@@ -155,6 +220,7 @@ class RowTemplate:
         self._functional: object = _UNBUILT
         self._timing: object = _UNBUILT
         self._timing_config: Optional[MachineConfig] = None
+        self._sig_digest: Optional[str] = None
 
     def addrs_for(self, key: Sequence[int]) -> List[int]:
         """Rebased address list for a block of this class (plain ints)."""
@@ -178,15 +244,25 @@ class RowTemplate:
         it the columnar plan/memo state keyed on program identity).
         """
         if self._timing is _UNBUILT or self._timing_config is not config:
-            self._timing = pooled_timing_program(self.trace, self.signature, config)
+            sig_digest = self.sig_digest() if artifacts.active_store() is not None else None
+            self._timing = pooled_timing_program(
+                self.trace, self.signature, config, sig_digest
+            )
             self._timing_config = config
         return self._timing  # type: ignore[return-value]
 
     def functional_program(self) -> Optional[FunctionalProgram]:
         """Lazily built semantic program (``None`` -> reference walk)."""
         if self._functional is _UNBUILT:
-            self._functional = build_functional_program(self.trace)
+            sig_digest = self.sig_digest() if artifacts.active_store() is not None else None
+            self._functional = pooled_functional_program(self.trace, sig_digest)
         return self._functional  # type: ignore[return-value]
+
+    def sig_digest(self) -> str:
+        """Cross-process digest of the structural signature (cached)."""
+        if self._sig_digest is None:
+            self._sig_digest = artifacts.signature_digest(self.signature)
+        return self._sig_digest
 
 
 class TraceCompiler:
@@ -198,6 +274,8 @@ class TraceCompiler:
         edge: int = EDGE,
         max_edge: int = MAX_EDGE,
         nest=None,
+        config: Optional[MachineConfig] = None,
+        store: Optional[artifacts.ArtifactStore] = None,
     ) -> None:
         self.kernel = kernel
         self.edge = edge
@@ -212,6 +290,25 @@ class TraceCompiler:
         self._classes: Dict[Tuple, Optional[RowTemplate]] = {}
         self.templated_blocks = 0
         self.fallback_blocks = 0
+        # Artifact-store persistence (optional).  The bundle digest needs
+        # the machine config — address models are config-independent but the
+        # probe verdicts and the downstream programs are not, and one digest
+        # per (kernel, machine) keeps the invalidation story uniform.
+        self.config = config if config is not None else getattr(kernel, "config", None)
+        self.store = store if store is not None else artifacts.active_store()
+        self.loaded_classes = 0
+        self.compiled_classes = 0
+        self.load_demotions = 0
+        self.fit_seconds = 0.0
+        self.verify_seconds = 0.0
+        self._bundle_digest: Optional[str] = None
+        self._bundle_inputs: Optional[Dict] = None
+        #: Raw stored class entries (repr(cls) -> payload | "demoted").
+        self._stored_classes: Dict[str, object] = {}
+        #: Read-modify-write image flushed on every newly resolved class.
+        self._bundle_out: Optional[Dict] = None
+        if self.store is not None and self.config is not None:
+            self._load_bundle()
 
     # ------------------------------------------------------------------
 
@@ -225,13 +322,18 @@ class TraceCompiler:
             try:
                 template = self._classes[cls]
             except KeyError:
-                template = self._compile_class(cls, block)
+                template = self._resolve_class(cls, block)
                 self._classes[cls] = template
             if template is None and self.edge < self.max_edge and "M" in cls:
                 # The class mixed structurally different blocks; widen the
                 # edge bands and reclassify everything under the new width.
                 self.edge += 1
                 self._classes.clear()
+                # Stored entries are keyed under the old edge's class
+                # labels; drop them and let the write-back path persist
+                # the reclassified bundle under the new edge.
+                self._stored_classes = {}
+                self._bundle_out = None
                 continue
             break
         if template is None:
@@ -239,6 +341,170 @@ class TraceCompiler:
             return None
         self.templated_blocks += 1
         return template, template.addrs_for(block.key)
+
+    # -- artifact-store persistence ------------------------------------
+
+    def _bundle_key_inputs(self) -> Optional[Dict]:
+        """Canonical identity of this (kernel, machine) pair, or ``None``.
+
+        Kernels without the standard identity attributes (spec/grids/
+        options) simply don't participate in persistence; everything else
+        behaves as before.
+        """
+        kernel = self.kernel
+        spec = getattr(kernel, "spec", None)
+        src = getattr(kernel, "src", None)
+        dst = getattr(kernel, "dst", None)
+        options = getattr(kernel, "options", None)
+        name = getattr(kernel, "name", None)
+        if spec is None or src is None or dst is None or options is None or name is None:
+            return None
+        try:
+            return {
+                "kind": "templates",
+                "meta": artifacts.artifact_meta(),
+                "machine": artifacts.machine_digest(self.config),
+                "method": name,
+                "spec": _spec_fingerprint(spec),
+                "src": _grid_fingerprint(src),
+                "dst": _grid_fingerprint(dst),
+                "options": dataclasses.asdict(options),
+                "shape": list(self.shape),
+            }
+        except (AttributeError, TypeError):
+            return None
+
+    def _load_bundle(self) -> None:
+        inputs = self._bundle_key_inputs()
+        if inputs is None:
+            self.store = None
+            return
+        self._bundle_inputs = inputs
+        self._bundle_digest = artifacts.artifact_digest(inputs)
+        data = self.store.load("templates", self._bundle_digest)
+        if not isinstance(data, dict):
+            return
+        classes = data.get("classes")
+        edge = data.get("edge")
+        if not isinstance(classes, dict) or not isinstance(edge, int):
+            return
+        if edge < self.edge or edge > self.max_edge:
+            return  # incompatible edge width; recompile from scratch
+        # Adopt the stored edge: a bundle written after live widening lets
+        # warm processes skip the widen-and-recompile round entirely.
+        self.edge = edge
+        self._stored_classes = classes
+
+    def _resolve_class(self, cls: Tuple, block: KernelBlock) -> Optional[RowTemplate]:
+        template = self._load_class(cls, block)
+        if template is not _MISS:
+            return template  # type: ignore[return-value]
+        start = perf_counter()
+        template = self._compile_class(cls, block)
+        elapsed = perf_counter() - start
+        self.fit_seconds += elapsed
+        self.compiled_classes += 1
+        COMPILE_STATS["fit_seconds"] += elapsed
+        COMPILE_STATS["compiled_classes"] += 1
+        self._record_class(cls, template)
+        return template
+
+    def _load_class(self, cls: Tuple, block: KernelBlock):
+        """Adopt a stored class entry, or :data:`_MISS` to compile live.
+
+        Safety contract: a deserialized template is probe-checked with one
+        live emit of the block actually being replayed (signature + exact
+        addresses through the template's affine model) before it is
+        trusted.  A failed check demotes the class permanently — exactly
+        what the live path does on a failed probe — and persists the
+        verdict.  Corrupt/undecodable entries fall back to a live compile.
+        """
+        stored = self._stored_classes.get(repr(cls)) if self._stored_classes else None
+        if stored is None:
+            return _MISS
+        if stored == "demoted":
+            self.loaded_classes += 1
+            COMPILE_STATS["loaded_classes"] += 1
+            return None
+        start = perf_counter()
+        template = self._decode_class(stored)
+        if template is None:
+            self.verify_seconds += perf_counter() - start
+            return _MISS
+        live = self.kernel.emit(block)
+        ok = (
+            trace_signature(live) == template.signature
+            and trace_addresses(live) == template.addrs_for(block.key)
+        )
+        elapsed = perf_counter() - start
+        self.verify_seconds += elapsed
+        COMPILE_STATS["verify_seconds"] += elapsed
+        COMPILE_STATS["verify_emits"] += 1
+        if not ok:
+            self.load_demotions += 1
+            COMPILE_STATS["load_demotions"] += 1
+            self._record_class(cls, None)
+            return None
+        self.loaded_classes += 1
+        COMPILE_STATS["loaded_classes"] += 1
+        return template
+
+    def _decode_class(self, stored) -> Optional[RowTemplate]:
+        try:
+            trace = artifacts.decode_trace(stored["trace"])
+            if trace is None:
+                return None
+            key0 = tuple(stored["key0"])
+            addr0 = np.asarray(stored["addr0"], dtype=np.int64)
+            deltas = tuple(
+                (int(d), np.asarray(vals, dtype=np.int64)) for d, vals in stored["deltas"]
+            )
+            sig_digest = stored["sig"]
+        except (KeyError, TypeError, ValueError):
+            return None
+        if len(key0) != len(self.shape):
+            return None
+        sig0 = trace_signature(trace)
+        # Internal-consistency checks: the digest pins the structural
+        # signature, and the rebuilt trace must embed exactly the stored
+        # address vector (same fit inputs as the original compile).
+        if artifacts.signature_digest(sig0) != sig_digest:
+            return None
+        if trace_addresses(trace) != addr0.tolist():
+            return None
+        if any(delta.shape != addr0.shape for _d, delta in deltas):
+            return None
+        template = RowTemplate(trace, key0, addr0, deltas, signature=sig0)
+        template._sig_digest = sig_digest
+        return template
+
+    def _record_class(self, cls: Tuple, template: Optional[RowTemplate]) -> None:
+        """Write a freshly resolved class (or demotion verdict) back."""
+        if self.store is None or self._bundle_digest is None:
+            return
+        if template is None:
+            entry: object = "demoted"
+        else:
+            trace_payload = artifacts.encode_trace(template.trace)
+            if trace_payload is None:
+                return  # instruction type outside the codec; keep it live-only
+            entry = {
+                "trace": trace_payload,
+                "key0": list(template.key0),
+                "addr0": template.addr0.tolist(),
+                "deltas": [[d, delta.tolist()] for d, delta in template.deltas],
+                "sig": template.sig_digest(),
+            }
+        if self._bundle_out is None:
+            self._bundle_out = {"edge": self.edge, "classes": dict(self._stored_classes)}
+        self._bundle_out["edge"] = self.edge
+        self._bundle_out["classes"][repr(cls)] = entry
+        # Read-modify-write with atomic replace: concurrent writers may
+        # race, but entries are deterministic per digest, so last-writer-
+        # wins only ever loses still-recomputable classes, never coherence.
+        self.store.store(
+            "templates", self._bundle_digest, self._bundle_out, inputs=self._bundle_inputs
+        )
 
     # ------------------------------------------------------------------
 
@@ -268,6 +534,7 @@ class TraceCompiler:
     def _compile_class(self, cls: Tuple, block: KernelBlock) -> Optional[RowTemplate]:
         kernel = self.kernel
         key0 = block.key
+        COMPILE_STATS["probe_emits"] += 1
         trace0 = kernel.emit(block)
         sig0 = trace_signature(trace0)
         addr0 = np.asarray(trace_addresses(trace0), dtype=np.int64)
@@ -307,6 +574,7 @@ class TraceCompiler:
             corner_block = self._by_key.get(tuple(corner))
             if corner_block is None:
                 return None
+            COMPILE_STATS["probe_emits"] += 1
             corner_trace = kernel.emit(corner_block)
             if trace_signature(corner_trace) != sig0:
                 return None
@@ -325,6 +593,7 @@ class TraceCompiler:
         probe_block = self._by_key.get(key)
         if probe_block is None:
             return None
+        COMPILE_STATS["probe_emits"] += 1
         trace = self.kernel.emit(probe_block)
         if trace_signature(trace) != sig0:
             return None

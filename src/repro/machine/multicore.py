@@ -88,6 +88,7 @@ class MulticoreModel:
         engine: Optional[str] = None,
         timing: Optional[str] = None,
         timing_engine: Optional[TimingEngine] = None,
+        artifact_dir=None,
     ) -> None:
         self.config = config
         if timing_engine is not None:
@@ -95,7 +96,9 @@ class MulticoreModel:
                 raise ValueError("timing_engine was built for a different config")
             self.engine = timing_engine
         else:
-            self.engine = TimingEngine(config, engine=engine, timing=timing)
+            self.engine = TimingEngine(
+                config, engine=engine, timing=timing, artifact_dir=artifact_dir
+            )
 
     def run_slice(
         self,

@@ -111,8 +111,17 @@ class TimingEngine:
         config: MachineConfig,
         engine: Optional[str] = None,
         timing: Optional[str] = None,
+        artifact_dir=None,
     ) -> None:
         self.config = config
+        if artifact_dir is not None:
+            # Installs the process-wide compiled-artifact store: template
+            # bundles, lowered programs and columnar plans persist across
+            # processes (see :mod:`repro.machine.artifacts`).
+            from repro.machine.artifacts import install_artifact_store
+
+            install_artifact_store(artifact_dir)
+        self.artifact_dir = artifact_dir
         if engine is None:
             engine = default_engine()
         if engine not in ENGINES:
@@ -152,8 +161,8 @@ class TimingEngine:
         from repro.kernels.template import TraceCompiler
         from repro.machine.memo import TimingMemo, memo_enabled
 
-        compiler = TraceCompiler(kernel, nest=nest)
         config = self.config
+        compiler = TraceCompiler(kernel, nest=nest, config=config)
         memo = TimingMemo(config) if memo_enabled() else None
 
         def run_block(block: KernelBlock) -> None:
