@@ -131,6 +131,32 @@ OOC_GUARD_SPEEDUP_TARGET = 8.0
 AOT_SPEEDUP_TARGET = 5.0
 #: Smoke-guard subset: one machine, two stencils, still the full registry.
 AOT_GUARD_STENCILS = ["star2d5p", "box2d9p"]
+#: Stencil-service throughput cell: R identical mixed-lane requests (4
+#: warm-cache cells each) against one persistent warm-worker service vs
+#: the same R requests through fork-per-sweep ``run_cells`` calls (a fresh
+#: worker pool per request — the pre-service engine's cost model).  The
+#: service side pays one pool spin-up for all R requests and coalesces
+#: identical in-flight cells, so the requests/sec ratio is dominated by
+#: amortized process start and shared work; the floor is the acceptance
+#: criterion's 3x.  Measured ~8-30x depending on fork cost.
+SERVICE_CELLS = [
+    ("hstencil", "star2d5p", (64, 64)),
+    ("auto", "star2d5p", (64, 64)),
+    ("hstencil", "box2d9p", (64, 64)),
+    ("auto", "box2d9p", (64, 64)),
+]
+SERVICE_REQUESTS = 12
+SERVICE_SMOKE_REQUESTS = 6
+SERVICE_WORKERS = 2
+SERVICE_THROUGHPUT_TARGET = 3.0
+
+#: Whole-phase wall-clock floor for the same guard: warm must beat cold by
+#: this much end-to-end, verification included.  The probe-on-load memo
+#: (identical class entries verified once per process, not once per
+#: bundle) holds warm verification cost down; measured wall ratio on the
+#: guard subset is ~3.8-4.5x, so 3.0x leaves noise headroom while still
+#: failing if per-load verification cost creeps back up.
+AOT_WALL_RATIO_TARGET = 3.0
 
 _RESULTS_JSON = os.path.join(
     os.path.dirname(__file__), "results", "BENCH_simspeed.json"
@@ -253,6 +279,8 @@ def _aot_phase(machines, stencils, store_dir):
         "fit_seconds": stats["fit_seconds"],
         "lower_seconds": pool["build_seconds"],
         "verify_seconds": stats["verify_seconds"],
+        "verify_emits": stats["verify_emits"],
+        "verify_memo_hits": stats["verify_memo_hits"],
         "compiled_classes": stats["compiled_classes"],
         "loaded_classes": stats["loaded_classes"],
         "cells": built,
@@ -283,6 +311,54 @@ def _aot_coldstart(stencils, store_dir, machines=None):
     cold_cl = cold["fit_seconds"] + cold["lower_seconds"]
     warm_cl = warm["fit_seconds"] + warm["lower_seconds"]
     return cold, warm, cold_cl / max(warm_cl, 1e-3)
+
+
+def _service_throughput(cache_dir, requests=SERVICE_REQUESTS):
+    """Warm-pool service vs fork-per-sweep requests/sec on a mixed workload.
+
+    Both sides serve ``requests`` identical jobs from a pre-warmed disk
+    cache, so neither pays first-ever simulation cost: the baseline pays a
+    fresh worker pool (and its runner re-warm) per request, the service
+    pays one pool for all of them and coalesces identical in-flight
+    cells.  Returns ``(baseline_s, service_s, counters)``.
+    """
+    import asyncio
+
+    from repro.bench.parallel import run_cells
+    from repro.service.engine import StencilService
+
+    cache_dir = str(cache_dir)
+    run_cells(SERVICE_CELLS, machine=LX2(), cache_dir=cache_dir, jobs=1)
+
+    start = time.perf_counter()
+    for _ in range(requests):
+        results = run_cells(
+            SERVICE_CELLS, machine=LX2(), cache_dir=cache_dir, jobs=SERVICE_WORKERS
+        )
+        assert all(r.ok for r in results)
+    baseline_s = time.perf_counter() - start
+
+    service = StencilService(workers=SERVICE_WORKERS, cache_dir=cache_dir)
+    lanes = ("interactive", "batch")
+
+    async def drive():
+        async with service:
+            jobs = [
+                await service.submit(SERVICE_CELLS, lane=lanes[i % len(lanes)])
+                for i in range(requests)
+            ]
+            for job in jobs:
+                assert all(r.ok for r in await job.results())
+
+    start = time.perf_counter()
+    asyncio.run(drive())
+    service_s = time.perf_counter() - start
+    # Coalescing contract: R identical concurrent requests collapse onto
+    # one in-flight task per distinct cell, and nothing re-simulates — the
+    # warm cache serves every dispatched cell.
+    assert service.counters["simulated"] == 0
+    assert service.counters["dispatched"] <= len(SERVICE_CELLS)
+    return baseline_s, service_s, dict(service.counters)
 
 
 @contextmanager
@@ -371,6 +447,10 @@ def test_simspeed_workloads(benchmark, tmp_path):
     # -- AOT artifact store: cold vs warm precompile of the registry -------
     aot_cold, aot_warm, aot_ratio = _aot_coldstart(SUITE_2D, tmp_path / "aot")
 
+    # -- stencil service: warm-pool vs fork-per-sweep requests/sec ---------
+    svc_base_s, svc_s, svc_counters = _service_throughput(tmp_path / "svc")
+    svc_speedup = svc_base_s / svc_s
+
     # -- CI regression-guard baselines -------------------------------------
     guard_speedup = _guard_speedup()
     ooc_guard_speedup = _ooc_guard_speedup()
@@ -434,7 +514,13 @@ def test_simspeed_workloads(benchmark, tmp_path):
         f"({aot_warm['fit_seconds'] + aot_warm['lower_seconds']:.2f}s "
         f"fit+lower, {aot_warm['verify_seconds']:.2f}s probe-on-load "
         f"verification) — fit+lower ratio {aot_ratio:.0f}x "
-        f"(target >= {AOT_SPEEDUP_TARGET:.0f}x)",
+        f"(target >= {AOT_SPEEDUP_TARGET:.0f}x)"
+        + f"\nstencil service throughput ({SERVICE_REQUESTS} warm-cache "
+        f"mixed-lane requests x {len(SERVICE_CELLS)} cells): persistent pool "
+        f"{svc_s:.2f}s vs fork-per-sweep {svc_base_s:.2f}s ({svc_speedup:.1f}x "
+        f"requests/sec, target >= {SERVICE_THROUGHPUT_TARGET:.0f}x; "
+        f"{svc_counters['coalesced_inflight'] + svc_counters['memo_hits']} of "
+        f"{svc_counters['cells']} cells coalesced)",
     )
     bench_artifact(
         "simspeed",
@@ -518,6 +604,16 @@ def test_simspeed_workloads(benchmark, tmp_path):
                 "wall_ratio": aot_cold["wall_seconds"] / aot_warm["wall_seconds"],
                 "speedup_target": AOT_SPEEDUP_TARGET,
             },
+            "service_throughput": {
+                "cells": [list(c[:2]) + [list(c[2])] for c in SERVICE_CELLS],
+                "requests": SERVICE_REQUESTS,
+                "workers": SERVICE_WORKERS,
+                "fork_per_sweep_seconds": svc_base_s,
+                "service_seconds": svc_s,
+                "speedup": svc_speedup,
+                "speedup_target": SERVICE_THROUGHPUT_TARGET,
+                "counters": svc_counters,
+            },
             "multicore_guard": {
                 "method": MC_GUARD_METHOD,
                 "stencil": MC_GUARD_STENCIL,
@@ -538,6 +634,7 @@ def test_simspeed_workloads(benchmark, tmp_path):
     assert mc_speedup >= MC_SPEEDUP_TARGET
     assert aot_warm["compiled_classes"] == 0, "warm store still compiled live"
     assert aot_ratio >= AOT_SPEEDUP_TARGET
+    assert svc_speedup >= SERVICE_THROUGHPUT_TARGET
 
 
 def test_smoke_simspeed_engines_agree():
@@ -669,6 +766,43 @@ def test_smoke_simspeed_aot_coldstart_guard(tmp_path):
         f"below target {AOT_SPEEDUP_TARGET:.0f}x "
         f"(cold {cold['fit_seconds'] + cold['lower_seconds']:.3f}s, "
         f"warm {warm['fit_seconds'] + warm['lower_seconds']:.3f}s)"
+    )
+    # The probe-on-load memo must absorb the repeats: identical class
+    # entries (cross-method shared emissions) verify once per process, so
+    # warm live probe emits stay strictly below one per loaded class.
+    assert warm["verify_memo_hits"] >= 1, "probe-verify memo never hit"
+    assert warm["verify_emits"] < warm["loaded_classes"], (
+        f"probe-verify memo ineffective: {warm['verify_emits']} live emits "
+        f"for {warm['loaded_classes']} loaded classes"
+    )
+    wall_ratio = cold["wall_seconds"] / warm["wall_seconds"]
+    assert wall_ratio >= AOT_WALL_RATIO_TARGET, (
+        f"AOT cold-start wall ratio {wall_ratio:.2f}x below target "
+        f"{AOT_WALL_RATIO_TARGET:.1f}x (cold {cold['wall_seconds']:.2f}s, "
+        f"warm {warm['wall_seconds']:.2f}s — warm verification cost crept up?)"
+    )
+
+
+def test_smoke_simspeed_service_throughput_guard(tmp_path):
+    """Warm-pool service vs fork-per-sweep floor (the issue's 3x criterion).
+
+    Like the AOT guard this needs no recorded baseline: both sides run in
+    the same process on the same machine, so the requests/sec ratio
+    transfers across hardware.  The coalescing counters are asserted
+    inside :func:`_service_throughput` — identical concurrent requests
+    dispatch at most one task per distinct cell and re-simulate nothing.
+    """
+    base_s, svc_s, counters = _service_throughput(
+        tmp_path, requests=SERVICE_SMOKE_REQUESTS
+    )
+    speedup = base_s / svc_s
+    assert counters["coalesced_inflight"] + counters["memo_hits"] >= (
+        (SERVICE_SMOKE_REQUESTS - 1) * len(SERVICE_CELLS)
+    )
+    assert speedup >= SERVICE_THROUGHPUT_TARGET, (
+        f"service throughput {speedup:.2f}x below target "
+        f"{SERVICE_THROUGHPUT_TARGET:.0f}x (fork-per-sweep {base_s:.2f}s, "
+        f"warm pool {svc_s:.2f}s for {SERVICE_SMOKE_REQUESTS} requests)"
     )
 
 

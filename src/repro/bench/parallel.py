@@ -15,11 +15,17 @@ warm second sweep performs zero simulations in any process.  The same
 sharding drives ``action="precompile"``: instead of measuring, each worker
 pre-builds the compiled-artifact store entries (templates, programs,
 columnar plans) for its cells — the build side of ``repro precompile``.
+
+The pooled path is a thin client of the stencil service
+(:class:`repro.service.engine.StencilService`): ``run_cells(jobs=N)``
+drives a short-lived service on the batch lane, so the CLI sweep and the
+long-running ``repro serve`` engine share one job API and one worker
+implementation.  ``Ctrl-C`` mid-sweep terminates the worker pool cleanly
+and returns the cells that finished, instead of leaking workers.
 """
 
 from __future__ import annotations
 
-import multiprocessing
 import sys
 import time
 from dataclasses import dataclass
@@ -127,6 +133,64 @@ def _progress_line(done: int, total: int, failed: int, started: float) -> str:
     return f"[sweep] {done}/{total} cells{tail} in {elapsed:.1f}s"
 
 
+def _run_cells_pooled(
+    cells: Sequence[Cell],
+    out: List[CellResult],
+    machine,
+    options,
+    cache_dir,
+    warm,
+    plan,
+    workers: int,
+    tick,
+    engine,
+    timing,
+    artifact_dir,
+    action,
+) -> None:
+    """Drive one batch job through a short-lived stencil service.
+
+    Appends completed cells into ``out`` as they finish (completion
+    order), then sorts it by index.  A ``KeyboardInterrupt`` terminates
+    the worker pool and keeps the cells completed so far, so an aborted
+    sweep never leaks worker processes and keeps its partial results.
+    """
+    import asyncio
+
+    from repro.service.engine import StencilService
+
+    service = StencilService(
+        workers=workers,
+        cache_dir=cache_dir,
+        artifact_dir=artifact_dir,
+        engine=engine,
+        timing=timing,
+    )
+
+    async def drive() -> None:
+        async with service:
+            job = await service.submit(
+                cells, lane="batch", machine=machine, options=options,
+                warm=warm, plan=plan, action=action,
+            )
+            async for kind, payload in job.events():
+                if kind == "done":
+                    break
+                out.append(payload)
+                tick()
+
+    try:
+        asyncio.run(drive())
+    except KeyboardInterrupt:
+        service.terminate()
+        print(
+            f"\n[sweep] interrupted — keeping {len(out)}/{len(cells)} "
+            "completed cells, workers terminated",
+            file=sys.stderr,
+        )
+    out.sort(key=lambda r: r.index)
+
+
 def run_cells(
     cells: Sequence[Cell],
     machine: Optional[MachineConfig] = None,
@@ -152,6 +216,11 @@ def run_cells(
     ``action="precompile"`` pre-builds the compiled-artifact store for every
     cell instead of measuring; results carry a per-cell build summary in
     :attr:`CellResult.info` and no counters.
+
+    ``jobs > 1`` submits the whole sweep as one batch-lane job to a
+    short-lived :class:`~repro.service.engine.StencilService` (the same
+    engine behind ``repro serve``).  ``Ctrl-C`` mid-sweep terminates the
+    worker pool and returns the cells that completed.
     """
     indexed = list(enumerate(tuple(c) for c in cells))
     total = len(indexed)
@@ -184,26 +253,21 @@ def run_cells(
         finally:
             _WORKER_RUNNER = None
     else:
-        ctx = multiprocessing.get_context()
-        with ctx.Pool(
-            processes=min(jobs, total),
-            initializer=_init_worker,
-            initargs=(
-                machine,
-                options,
-                cache_dir,
-                warm,
-                plan,
-                engine,
-                timing,
-                artifact_dir,
-                action,
-            ),
-        ) as pool:
-            for result in pool.imap_unordered(_run_cell, indexed):
-                results.append(result)
-                tick()
-        results.sort(key=lambda r: r.index)
+        _run_cells_pooled(
+            [cell for _, cell in indexed],
+            results,
+            machine,
+            options,
+            cache_dir,
+            warm,
+            plan,
+            min(jobs, total),
+            tick,
+            engine,
+            timing,
+            artifact_dir,
+            action,
+        )
         if runner is not None and action == "measure":
             for result in results:
                 if result.ok:

@@ -154,9 +154,10 @@ class ExperimentRunner:
         shape: Tuple[int, ...],
         warm: bool = True,
         plan: Optional[SamplePlan] = None,
+        iters: int = 1,
     ) -> Optional[str]:
         """How a cell was obtained: "simulated", "disk", or None (not run)."""
-        return self._provenance.get(self._key(method, stencil, shape, warm, plan))
+        return self._provenance.get(self._key(method, stencil, shape, warm, plan, iters))
 
     def adopt(
         self,

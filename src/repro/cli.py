@@ -14,6 +14,10 @@ Commands:
     Run a method functionally and check it against the NumPy reference.
 ``scaling``
     Strong-scaling sweep (the Figure 16 experiment, configurable).
+``serve``
+    Run the persistent warm-worker stencil service on a Unix socket.
+``submit``
+    Submit cells to a running service (or ping/stats/shutdown it).
 
 Examples::
 
@@ -23,6 +27,9 @@ Examples::
     python -m repro listing --stencil star2d5p --method hstencil
     python -m repro verify --stencil star3d7p --size 4x16x32
     python -m repro scaling --cores 1,2,4,8 --size 1024
+    python -m repro serve --socket /tmp/repro.sock --workers 4 &
+    python -m repro submit --socket /tmp/repro.sock --lane interactive \
+        --methods hstencil,auto --stencils star2d5p --size 64x64
 """
 
 from __future__ import annotations
@@ -347,6 +354,122 @@ def cmd_precompile(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.service import StencilService
+    from repro.service.protocol import ServiceServer
+
+    service = StencilService(
+        workers=args.workers,
+        cache_dir=_dir_arg(args, "cache_dir") or os.environ.get("REPRO_BENCH_CACHE"),
+        artifact_dir=_dir_arg(args, "artifact_dir") or os.environ.get("REPRO_ARTIFACTS"),
+        engine=getattr(args, "engine", None),
+        timing=getattr(args, "timing", None),
+    )
+
+    async def main_async() -> None:
+        async with service:
+            server = ServiceServer(service, args.socket)
+            await server.start()
+            print(
+                f"serving on {args.socket} with {service.workers} warm workers "
+                "(submit with `repro submit`, stop with Ctrl-C or "
+                "`repro submit --shutdown`)"
+            )
+            await server.serve_forever()
+
+    try:
+        asyncio.run(main_async())
+    except KeyboardInterrupt:
+        service.terminate()
+        print(file=sys.stderr)
+    c = service.counters
+    print(
+        f"served {c['jobs']} jobs / {c['cells']} cells — "
+        f"{c['simulated']} simulated, {c['disk_hits']} disk hits, "
+        f"{c['memo_hits'] + c['coalesced_inflight']} coalesced, "
+        f"{c['errors']} errors, {c['crashes']} worker crashes"
+    )
+    return 0
+
+
+def cmd_submit(args) -> int:
+    from repro.service.protocol import ServiceClient
+
+    client = ServiceClient(args.socket, timeout=args.timeout)
+    if args.ping:
+        print(json.dumps(client.ping(), sort_keys=True))
+        return 0
+    if args.stats:
+        print(json.dumps(client.stats(), indent=1, sort_keys=True))
+        return 0
+    if args.shutdown:
+        client.shutdown()
+        print("service asked to shut down")
+        return 0
+
+    methods = [m.strip() for m in args.methods.split(",") if m.strip()]
+    stencils = [s.strip() for s in args.stencils.split(",") if s.strip()]
+    cells = []
+    for stencil in stencils:
+        spec = benchmark(stencil)
+        shape = _shape(args.size, spec.ndim)
+        cells.extend((method, stencil, shape) for method in methods)
+
+    done = 0
+
+    def on_event(event) -> None:
+        nonlocal done
+        if event.get("event") == "cell" and args.progress:
+            done += 1
+            print(f"\r[submit] {done}/{len(cells)} cells", end="", file=sys.stderr, flush=True)
+
+    out = client.submit(
+        cells,
+        lane=args.lane,
+        machine=args.machine,
+        iters=args.iters,
+        on_event=on_event,
+    )
+    if args.progress:
+        print(file=sys.stderr)
+    failures = 0
+    for record in out["records"]:
+        name = f"{record['method']}/{record['stencil']}"
+        if record.get("error"):
+            failures += 1
+            print(f"  {name:32s} FAILED ({record['error']})")
+            continue
+        derived = record.get("derived", {})
+        print(
+            f"  {name:32s} {record['source']:9s} "
+            f"{derived.get('cycles_per_point', 0.0):7.2f} cyc/pt  "
+            f"{derived.get('gstencil_per_s', 0.0):6.2f} GStencil/s  "
+            f"({record['seconds']:.3f}s)"
+        )
+    summary = out["summary"]
+    print(
+        f"job {out['job']} ({summary['lane']}): {summary['completed']} cells in "
+        f"{summary['seconds']:.2f}s, {summary['errors']} errors"
+    )
+    if args.json:
+        target = pathlib.Path(args.json)
+        if target.suffix != ".json":
+            target = target / "BENCH_service_submit.json"
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(
+            json.dumps(
+                {"experiment": "service_submit", "summary": summary, "records": out["records"]},
+                indent=1,
+                sort_keys=True,
+            )
+            + "\n"
+        )
+        print(f"wrote {target}")
+    return 1 if failures else 0
+
+
 def cmd_cache(args) -> int:
     from repro.bench.cache import MeasurementCache
     from repro.machine.artifacts import ArtifactStore
@@ -476,6 +599,38 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--unroll", type=int, default=None, help="tile unroll factor")
     p.add_argument("--stats", action="store_true", help="print pool/store counters")
 
+    p = sub.add_parser("serve", help="run the warm-worker stencil service")
+    p.add_argument("--socket", required=True, help="Unix socket path to listen on")
+    p.add_argument(
+        "--workers", type=int, default=None,
+        help="persistent worker processes (default: cores - 1)",
+    )
+    p.add_argument("--cache-dir", default=None, help="measurement cache directory (default: REPRO_BENCH_CACHE)")
+    p.add_argument(
+        "--artifact-dir", default=None,
+        help="compiled-artifact store directory (default: REPRO_ARTIFACTS)",
+    )
+    p.add_argument(
+        "--timing", choices=["columnar", "scalar"], default=None,
+        help="band-sampled replay mode (default: REPRO_TIMING env var, then columnar)",
+    )
+    _engine_arg(p)
+
+    p = sub.add_parser("submit", help="submit cells to a running service")
+    p.add_argument("--socket", required=True, help="Unix socket of a `repro serve` process")
+    p.add_argument("--lane", choices=["interactive", "batch"], default="interactive")
+    p.add_argument("--methods", default="hstencil", help="comma-separated method list")
+    p.add_argument("--stencils", default="star2d9p", help="comma-separated stencil list")
+    p.add_argument("--size", default="128x128", help="interior size, e.g. 128x128")
+    p.add_argument("--machine", default="lx2", help="lx2 or m4")
+    p.add_argument("--iters", type=int, default=1, help="timed passes per cell")
+    p.add_argument("--timeout", type=float, default=None, help="socket timeout in seconds")
+    p.add_argument("--progress", action="store_true", help="stream per-cell progress to stderr")
+    p.add_argument("--json", default=None, metavar="PATH", help="write the streamed records as JSON")
+    p.add_argument("--ping", action="store_true", help="just ping the service")
+    p.add_argument("--stats", action="store_true", help="print service counters and exit")
+    p.add_argument("--shutdown", action="store_true", help="ask the service to shut down")
+
     p = sub.add_parser("cache", help="inspect or prune the on-disk caches")
     p.add_argument("action", choices=["stats", "prune"])
     p.add_argument("--cache-dir", default=None, help="measurement cache directory")
@@ -559,6 +714,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "verify": cmd_verify,
         "scaling": cmd_scaling,
         "precompile": cmd_precompile,
+        "serve": cmd_serve,
+        "submit": cmd_submit,
         "cache": cmd_cache,
     }[args.command]
     if getattr(args, "profile", False):

@@ -1,0 +1,274 @@
+"""JSON-lines Unix-socket transport for the stencil service.
+
+One request per connection, newline-delimited JSON both ways — greppable
+with ``nc -U`` and implementable from any language without a dependency.
+``submit`` responses are *streamed*: an ``accepted`` event, one ``cell``
+event per completed cell (carrying the same ``BENCH_*.json``-compatible
+record the batch engine writes), then a ``done`` summary.  ``stats``,
+``ping`` and ``shutdown`` are single-line request/response.
+
+The server side (:class:`ServiceServer`) is asyncio and shares the event
+loop with :class:`~repro.service.engine.StencilService`; the client side
+(:class:`ServiceClient`) is a plain blocking stdlib-socket client so
+``repro submit``, shell scripts and tests need no event loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import json
+import os
+import socket
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.kernels.base import KernelOptions
+from repro.machine.timing import SamplePlan
+from repro.service.engine import StencilService, cell_record, resolve_machine
+from repro.service.queue import AdmissionError
+
+#: Bumped on any incompatible wire change; echoed by ``ping``.
+PROTOCOL_VERSION = 1
+
+#: Maximum accepted request-line length (a 100k-cell sweep fits well under this).
+MAX_LINE = 64 * 1024 * 1024
+
+
+def _encode(message: Dict) -> bytes:
+    return json.dumps(message, sort_keys=True).encode("utf-8") + b"\n"
+
+
+def decode_plan(payload: Optional[Dict]) -> Optional[SamplePlan]:
+    if payload is None:
+        return None
+    return SamplePlan(**payload)
+
+
+def decode_options(payload: Optional[Dict]) -> Optional[KernelOptions]:
+    if payload is None:
+        return None
+    return KernelOptions(**payload)
+
+
+def decode_cells(payload: Sequence) -> List[tuple]:
+    cells = []
+    for entry in payload:
+        method, stencil, shape = entry
+        cells.append((str(method), str(stencil), tuple(int(n) for n in shape)))
+    return cells
+
+
+class ServiceServer:
+    """Asyncio Unix-socket front end for one :class:`StencilService`."""
+
+    def __init__(self, service: StencilService, socket_path) -> None:
+        self.service = service
+        self.socket_path = str(socket_path)
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._stop = asyncio.Event()
+
+    async def start(self) -> "ServiceServer":
+        if os.path.exists(self.socket_path):
+            os.unlink(self.socket_path)
+        self._server = await asyncio.start_unix_server(
+            self._handle, path=self.socket_path, limit=MAX_LINE
+        )
+        return self
+
+    async def serve_forever(self) -> None:
+        """Serve until a client sends ``shutdown`` (or :meth:`stop` is called)."""
+        if self._server is None:
+            await self.start()
+        await self._stop.wait()
+        await self.close()
+
+    def stop(self) -> None:
+        self._stop.set()
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if os.path.exists(self.socket_path):
+            os.unlink(self.socket_path)
+
+    # ------------------------------------------------------------------
+
+    async def _handle(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        try:
+            line = await reader.readline()
+            if not line.strip():
+                return
+            try:
+                request = json.loads(line)
+            except json.JSONDecodeError as exc:
+                writer.write(_encode({"event": "error", "error": f"bad json: {exc}"}))
+                return
+            op = request.get("op")
+            if op == "submit":
+                await self._handle_submit(request, writer)
+            elif op == "stats":
+                writer.write(_encode({"event": "stats", "stats": self.service.stats()}))
+            elif op == "ping":
+                writer.write(
+                    _encode({"event": "pong", "protocol": PROTOCOL_VERSION})
+                )
+            elif op == "shutdown":
+                writer.write(_encode({"event": "bye"}))
+                self.stop()
+            else:
+                writer.write(_encode({"event": "error", "error": f"unknown op {op!r}"}))
+        except (ConnectionResetError, BrokenPipeError):
+            pass  # client went away mid-stream; nothing to clean up
+        finally:
+            try:
+                await writer.drain()
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _handle_submit(self, request: Dict, writer: asyncio.StreamWriter) -> None:
+        try:
+            cells = decode_cells(request["cells"])
+            machine = resolve_machine(request.get("machine"))
+            job = await self.service.submit(
+                cells,
+                lane=request.get("lane", "batch"),
+                machine=machine,
+                options=decode_options(request.get("options")),
+                warm=bool(request.get("warm", True)),
+                plan=decode_plan(request.get("plan")),
+                iters=int(request.get("iters", 1)),
+                action=request.get("action", "measure"),
+            )
+        except AdmissionError as exc:
+            writer.write(
+                _encode(
+                    {
+                        "event": "rejected",
+                        "error": str(exc),
+                        "lane": exc.lane,
+                        "pending": exc.pending,
+                        "limit": exc.limit,
+                    }
+                )
+            )
+            return
+        except (KeyError, ValueError, TypeError, RuntimeError) as exc:
+            writer.write(_encode({"event": "error", "error": f"{type(exc).__name__}: {exc}"}))
+            return
+        writer.write(
+            _encode(
+                {"event": "accepted", "job": job.id, "lane": job.lane, "cells": len(job.cells)}
+            )
+        )
+        await writer.drain()
+        async for kind, payload in job.events():
+            if kind == "cell":
+                writer.write(
+                    _encode(
+                        {
+                            "event": "cell",
+                            "job": job.id,
+                            "index": payload.index,
+                            "ok": payload.ok,
+                            "record": cell_record(payload, machine),
+                        }
+                    )
+                )
+            else:
+                writer.write(_encode({"event": "done", "job": job.id, "summary": payload}))
+            await writer.drain()
+
+
+class ServiceClient:
+    """Blocking JSON-lines client (one connection per request)."""
+
+    def __init__(self, socket_path, timeout: Optional[float] = None) -> None:
+        self.socket_path = str(socket_path)
+        self.timeout = timeout
+
+    def _request(self, message: Dict) -> Iterable[Dict]:
+        with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as sock:
+            if self.timeout is not None:
+                sock.settimeout(self.timeout)
+            sock.connect(self.socket_path)
+            sock.sendall(_encode(message))
+            with sock.makefile("rb") as stream:
+                for line in stream:
+                    if line.strip():
+                        yield json.loads(line)
+
+    def _one(self, message: Dict) -> Dict:
+        for response in self._request(message):
+            return response
+        raise ConnectionError("service closed the connection without responding")
+
+    # ------------------------------------------------------------------
+
+    def ping(self) -> Dict:
+        return self._one({"op": "ping"})
+
+    def stats(self) -> Dict:
+        response = self._one({"op": "stats"})
+        if response.get("event") != "stats":
+            raise RuntimeError(response.get("error", f"unexpected reply {response!r}"))
+        return response["stats"]
+
+    def shutdown(self) -> Dict:
+        return self._one({"op": "shutdown"})
+
+    def submit(
+        self,
+        cells: Sequence,
+        lane: str = "batch",
+        machine: Optional[str] = None,
+        options: Optional[KernelOptions] = None,
+        warm: bool = True,
+        plan: Optional[SamplePlan] = None,
+        iters: int = 1,
+        action: str = "measure",
+        on_event: Optional[Callable[[Dict], None]] = None,
+    ) -> Dict:
+        """Submit and stream to completion.
+
+        Returns ``{"job", "lane", "records", "summary"}`` with ``records``
+        in submission order; raises on rejection or server error.  Pass
+        ``on_event`` to observe each raw event as it arrives (progress).
+        """
+        message = {
+            "op": "submit",
+            "cells": [[m, s, list(shape)] for m, s, shape in cells],
+            "lane": lane,
+            "warm": warm,
+            "iters": iters,
+            "action": action,
+        }
+        if machine is not None:
+            message["machine"] = machine
+        if options is not None:
+            message["options"] = dataclasses.asdict(options)
+        if plan is not None:
+            message["plan"] = dataclasses.asdict(plan)
+        records: List[Optional[Dict]] = [None] * len(message["cells"])
+        result: Dict = {"lane": lane, "records": records}
+        for event in self._request(message):
+            if on_event is not None:
+                on_event(event)
+            kind = event.get("event")
+            if kind == "accepted":
+                result["job"] = event["job"]
+            elif kind == "cell":
+                records[event["index"]] = event["record"]
+            elif kind == "done":
+                result["summary"] = event["summary"]
+                return result
+            elif kind == "rejected":
+                raise AdmissionError(
+                    event.get("lane", lane), event.get("pending", 0), event.get("limit", 0)
+                )
+            else:
+                raise RuntimeError(event.get("error", f"unexpected event {event!r}"))
+        raise ConnectionError("service closed the stream before the job finished")

@@ -1,0 +1,144 @@
+"""Priority-lane task queue with admission control.
+
+The service shards every job into per-cell tasks and funnels them through
+one :class:`LaneQueue`.  Scheduling is weighted round-robin over the
+lanes: a lane with weight ``w`` may dispatch up to ``w`` tasks before the
+scheduler offers the turn to the next backlogged lane, so the
+``interactive`` lane (default weight 8) overtakes a deep ``batch``
+backlog within one worker completion, while ``batch`` still drains at a
+guaranteed ~1/(w+1) share — neither lane can starve the other.
+
+Admission control is per lane: a lane whose backlog is at
+``max_pending`` rejects further tasks with :class:`AdmissionError`
+*before* they consume queue memory or worker time; the caller (service
+front end or socket server) surfaces the rejection to the client, which
+can retry, shrink the job, or use the other lane.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from typing import Dict, Iterable, Optional, Tuple
+
+#: The default lanes, in scheduling-preference order.
+LANES: Tuple[str, ...] = ("interactive", "batch")
+
+#: Weighted-round-robin dispatch credits per lane.
+DEFAULT_WEIGHTS: Dict[str, int] = {"interactive": 8, "batch": 1}
+
+#: Per-lane backlog bounds.  Interactive requests are small by contract,
+#: batch sweeps are sharded into many cells, hence the asymmetry.
+DEFAULT_MAX_PENDING: Dict[str, int] = {"interactive": 4_096, "batch": 262_144}
+
+
+class AdmissionError(RuntimeError):
+    """A lane's backlog is full; the task was rejected, not queued."""
+
+    def __init__(self, lane: str, pending: int, limit: int) -> None:
+        super().__init__(
+            f"lane {lane!r} backlog is full ({pending}/{limit} tasks pending)"
+        )
+        self.lane = lane
+        self.pending = pending
+        self.limit = limit
+
+
+class LaneQueue:
+    """Multi-lane FIFO with weighted-round-robin ``get`` ordering."""
+
+    def __init__(
+        self,
+        lanes: Iterable[str] = LANES,
+        weights: Optional[Dict[str, int]] = None,
+        max_pending: Optional[Dict[str, int]] = None,
+    ) -> None:
+        self.lanes: Tuple[str, ...] = tuple(lanes)
+        if not self.lanes:
+            raise ValueError("LaneQueue needs at least one lane")
+        self.weights = {
+            lane: max(1, int((weights or DEFAULT_WEIGHTS).get(lane, 1)))
+            for lane in self.lanes
+        }
+        self.max_pending = {
+            lane: int((max_pending or DEFAULT_MAX_PENDING).get(lane, 0)) or None
+            for lane in self.lanes
+        }
+        self._queues: Dict[str, deque] = {lane: deque() for lane in self.lanes}
+        self._credits: Dict[str, int] = dict(self.weights)
+        self._event = asyncio.Event()
+        self.admitted: Dict[str, int] = {lane: 0 for lane in self.lanes}
+        self.rejected: Dict[str, int] = {lane: 0 for lane in self.lanes}
+        self.served: Dict[str, int] = {lane: 0 for lane in self.lanes}
+
+    # ------------------------------------------------------------------
+
+    def put_nowait(self, item, lane: str) -> None:
+        """Queue a task on ``lane``; :class:`AdmissionError` when full."""
+        if lane not in self._queues:
+            raise ValueError(f"unknown lane {lane!r} (have {list(self.lanes)})")
+        queue = self._queues[lane]
+        limit = self.max_pending[lane]
+        if limit is not None and len(queue) >= limit:
+            self.rejected[lane] += 1
+            raise AdmissionError(lane, len(queue), limit)
+        queue.append(item)
+        self.admitted[lane] += 1
+        self._event.set()
+
+    def _pick_lane(self) -> Optional[str]:
+        """The lane the next dispatch is owed to, or ``None`` when empty.
+
+        Two passes over the lane order: first honoring remaining credits,
+        then — when every backlogged lane has exhausted its credit — a
+        refill and a retry.  The refill only happens on exhaustion, so an
+        idle high-priority lane never banks credit against a busy one.
+        """
+        for _ in range(2):
+            for lane in self.lanes:
+                if self._queues[lane] and self._credits[lane] > 0:
+                    return lane
+            if not any(self._queues[lane] for lane in self.lanes):
+                return None
+            self._credits = dict(self.weights)
+        return None  # unreachable: refill guarantees a credit
+
+    def get_nowait(self):
+        """Dequeue the next task honoring lane weights, or raise ``IndexError``."""
+        lane = self._pick_lane()
+        if lane is None:
+            raise IndexError("LaneQueue is empty")
+        self._credits[lane] -= 1
+        self.served[lane] += 1
+        item = self._queues[lane].popleft()
+        if not any(self._queues.values()):
+            self._event.clear()
+        return item
+
+    async def get(self):
+        """Await the next task honoring lane weights."""
+        while True:
+            try:
+                return self.get_nowait()
+            except IndexError:
+                self._event.clear()
+                await self._event.wait()
+
+    # ------------------------------------------------------------------
+
+    def pending(self) -> Dict[str, int]:
+        return {lane: len(queue) for lane, queue in self._queues.items()}
+
+    def __len__(self) -> int:
+        return sum(len(queue) for queue in self._queues.values())
+
+    def stats(self) -> Dict:
+        return {
+            "lanes": list(self.lanes),
+            "weights": dict(self.weights),
+            "max_pending": dict(self.max_pending),
+            "pending": self.pending(),
+            "admitted": dict(self.admitted),
+            "rejected": dict(self.rejected),
+            "served": dict(self.served),
+        }
