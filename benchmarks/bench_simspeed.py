@@ -77,6 +77,21 @@ INCACHE_COLUMNAR_TARGET = 1.5
 #: ``ooc_guard`` floor below.
 OOC_SPEEDUP_TARGET = 5.0
 
+#: Full-grid exact (unsampled) out-of-cache cell: the steady-state elision
+#: workload.  One 2048^2 r=2 box pass on LX2, every band simulated
+#: (``sample=False``) vs the band-periodic controller detecting the
+#: steady state, verifying one period live and applying the remaining
+#: bands arithmetically (``steady="on"``, the default).  Bit-identity is
+#: asserted on every round; the elided side must also actually engage —
+#: a run that silently fell back to the full walk would "pass" the
+#: identity check while measuring nothing.  Measured speedup is ~7-8x
+#: cold (detection from scratch) and ~10x warm (persisted period record);
+#: the smoke-guard floor below leaves CI noise room under the cold
+#: number.
+FULLGRID_METHOD = "hstencil"
+FULLGRID_SPEEDUP_TARGET = 5.0
+FULLGRID_GUARD_SPEEDUP_TARGET = 4.0
+
 #: Multicore (fig16-style) wall-clock target: one strong-scaling sweep —
 #: every distinct slice height plus the serial reference, band-sampled —
 #: timed through the columnar and scalar sampled-replay modes in the same
@@ -248,6 +263,53 @@ def _ooc_guard_speedup(rounds=2):
         ref_s = r if ref_s is None else min(ref_s, r)
         col_s = c if col_s is None else min(col_s, c)
     return ref_s / col_s
+
+
+def _fullgrid_exact_speedup(rounds=1):
+    """Steady-off / steady-on wall-clock ratio on the exact full-grid cell.
+
+    Interleaved best-of-N like the other guards (load only ever slows a
+    run down).  Every round asserts the elided counters are bit-identical
+    to the full band walk, and the final round's controller stats must
+    show at least one engagement — the speedup is meaningless if elision
+    sat out.  Returns ``(speedup, on_s, off_s, stats)``.
+    """
+    from repro.kernels.base import KernelOptions
+    from repro.kernels.registry import make_kernel
+    from repro.machine.memory import MemorySpace
+    from repro.machine.timing import TimingEngine
+    from repro.stencils.grid import Grid2D
+    from repro.stencils.library import benchmark as stencil_benchmark
+
+    spec = stencil_benchmark(OOC_STENCIL)
+
+    def run(steady):
+        config = LX2()
+        mem = MemorySpace()
+        rows, cols = OOC_SHAPE
+        src = Grid2D(mem, rows, cols, spec.radius, "A", fill="random", seed=11)
+        dst = Grid2D(mem, rows, cols, spec.radius, "B")
+        kernel = make_kernel(
+            FULLGRID_METHOD, spec, src, dst, config, KernelOptions(unroll_j=2)
+        )
+        engine = TimingEngine(config, engine="compiled", steady=steady)
+        start = time.perf_counter()
+        counters = engine.run(kernel, sample=False, warm=False)
+        return time.perf_counter() - start, counters.to_dict(), engine.steady_stats
+
+    on_s = off_s = None
+    for _ in range(rounds):
+        o, on_counters, stats = run("on")
+        f, off_counters, _ = run("off")
+        assert on_counters == off_counters, (
+            "fullgrid exact: steady elision diverged from the band walk"
+        )
+        on_s = o if on_s is None else min(on_s, o)
+        off_s = f if off_s is None else min(off_s, f)
+    assert stats.engaged >= 1, (
+        f"fullgrid exact: elision never engaged (disabled={stats.disabled!r})"
+    )
+    return off_s / on_s, on_s, off_s, stats
 
 
 def _aot_phase(machines, stencils, store_dir):
@@ -440,6 +502,9 @@ def test_simspeed_workloads(benchmark, tmp_path):
     _assert_identical(ooc_cells, ooc_ref_counters, ooc_sca_counters, "out-of-cache scalar")
     _assert_identical(ooc_cells, ooc_ref_counters, ooc_col_counters, "out-of-cache columnar")
 
+    # -- full-grid exact run: steady-state elision vs full band walk -------
+    fg_speedup, fg_on_s, fg_off_s, fg_stats = _fullgrid_exact_speedup(rounds=2)
+
     # -- multicore (fig16-style) sweep: scalar vs columnar wall-clock ------
     mc_sca_s, mc_col_s, mc_sca_pts, mc_col_pts = _multicore_best()
     mc_speedup = mc_sca_s / mc_col_s
@@ -502,6 +567,11 @@ def test_simspeed_workloads(benchmark, tmp_path):
         f"{OOC_GUARD_PLAN.min_measure_points:,} points): "
         f"{ooc_guard_speedup:.2f}x vs reference "
         f"(target >= {OOC_GUARD_SPEEDUP_TARGET:.1f}x)"
+        + f"\nfull-grid exact run ({FULLGRID_METHOD} {OOC_STENCIL} "
+        f"{OOC_SHAPE[0]}x{OOC_SHAPE[1]}, every band): steady elision "
+        f"{fg_on_s:.2f}s vs full walk {fg_off_s:.2f}s ({fg_speedup:.2f}x, "
+        f"target >= {FULLGRID_SPEEDUP_TARGET:.0f}x; "
+        f"{fg_stats.elided_bands} bands elided, bit-identical)"
         + f"\nfig16-style multicore sweep ({MC_GUARD_STENCIL} "
         f"{MC_GUARD_SIZE}^2, cores {MC_GUARD_CORES}): columnar {mc_col_s:.2f}s "
         f"vs scalar {mc_sca_s:.2f}s ({mc_speedup:.2f}x, "
@@ -583,6 +653,18 @@ def test_simspeed_workloads(benchmark, tmp_path):
                 "speedup_target": OOC_GUARD_SPEEDUP_TARGET,
                 "slack": GUARD_SLACK,
             },
+            "fullgrid_exact": {
+                "method": FULLGRID_METHOD,
+                "stencil": OOC_STENCIL,
+                "shape": list(OOC_SHAPE),
+                "sampled": False,
+                "steady_on_seconds": fg_on_s,
+                "steady_off_seconds": fg_off_s,
+                "speedup": fg_speedup,
+                "speedup_target": FULLGRID_SPEEDUP_TARGET,
+                "guard_speedup_target": FULLGRID_GUARD_SPEEDUP_TARGET,
+                "steady_stats": fg_stats.to_dict(),
+            },
             "multicore": {
                 "method": MC_GUARD_METHOD,
                 "stencil": MC_GUARD_STENCIL,
@@ -630,6 +712,7 @@ def test_simspeed_workloads(benchmark, tmp_path):
     assert speedup_vs_ref >= SPEEDUP_TARGET_VS_REFERENCE
     assert incache_col_speedup >= INCACHE_COLUMNAR_TARGET
     assert ooc_speedup >= OOC_SPEEDUP_TARGET
+    assert fg_speedup >= FULLGRID_SPEEDUP_TARGET
     assert ooc_guard_speedup >= OOC_GUARD_SPEEDUP_TARGET
     assert mc_speedup >= MC_SPEEDUP_TARGET
     assert aot_warm["compiled_classes"] == 0, "warm store still compiled live"
@@ -714,6 +797,25 @@ def test_smoke_simspeed_ooc_wallclock_guard():
     assert measured >= floor, (
         f"out-of-cache columnar speedup regressed: measured {measured:.2f}x, "
         f"recorded {recorded['speedup']:.2f}x, floor {floor:.2f}x"
+    )
+
+
+def test_smoke_simspeed_fullgrid_exact_guard():
+    """CI guard for band-periodic steady-state elision on exact runs.
+
+    One exact (every-band) 2048^2 out-of-cache pass, steady elision vs the
+    full band walk, in the same process.  Needs no recorded baseline: the
+    same-process wall-clock ratio transfers across hardware, and the
+    helper already asserts bit-identity and that elision actually
+    engaged.  The floor sits under the ~7-8x measured cold speedup (a
+    warm artifact store serves the persisted period record and lands
+    ~10x, which only raises the measured side).
+    """
+    speedup, on_s, off_s, stats = _fullgrid_exact_speedup(rounds=1)
+    assert speedup >= FULLGRID_GUARD_SPEEDUP_TARGET, (
+        f"steady-state elision speedup {speedup:.2f}x below floor "
+        f"{FULLGRID_GUARD_SPEEDUP_TARGET:.0f}x (elided {on_s:.2f}s, "
+        f"full walk {off_s:.2f}s, {stats.elided_bands} bands elided)"
     )
 
 

@@ -74,6 +74,8 @@ def _init_worker(
     timing=None,
     artifact_dir=None,
     action="measure",
+    steady=None,
+    sample=None,
 ) -> None:
     global _WORKER_RUNNER, _WORKER_ARGS
     from repro.bench.runner import ExperimentRunner
@@ -84,6 +86,8 @@ def _init_worker(
         cache_dir=cache_dir,
         engine=engine,
         timing=timing,
+        steady=steady,
+        sample=sample,
         artifact_dir=artifact_dir,
     )
     _WORKER_ARGS = (warm, plan, action)
@@ -147,6 +151,8 @@ def _run_cells_pooled(
     timing,
     artifact_dir,
     action,
+    steady,
+    sample,
 ) -> None:
     """Drive one batch job through a short-lived stencil service.
 
@@ -165,6 +171,8 @@ def _run_cells_pooled(
         artifact_dir=artifact_dir,
         engine=engine,
         timing=timing,
+        steady=steady,
+        sample=sample,
     )
 
     async def drive() -> None:
@@ -203,6 +211,8 @@ def run_cells(
     runner=None,
     engine: Optional[str] = None,
     timing: Optional[str] = None,
+    steady: Optional[str] = None,
+    sample: Optional[bool] = None,
     artifact_dir=None,
     action: str = "measure",
 ) -> List[CellResult]:
@@ -244,7 +254,8 @@ def run_cells(
             _WORKER_RUNNER, _WORKER_ARGS = runner, (warm, plan, action)
         else:
             _init_worker(
-                machine, options, cache_dir, warm, plan, engine, timing, artifact_dir, action
+                machine, options, cache_dir, warm, plan, engine, timing,
+                artifact_dir, action, steady, sample,
             )
         try:
             for item in indexed:
@@ -267,6 +278,8 @@ def run_cells(
             timing,
             artifact_dir,
             action,
+            steady,
+            sample,
         )
         if runner is not None and action == "measure":
             for result in results:

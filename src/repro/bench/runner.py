@@ -61,6 +61,8 @@ class ExperimentRunner:
         cache_dir=None,
         engine: Optional[str] = None,
         timing: Optional[str] = None,
+        steady: Optional[str] = None,
+        sample: Optional[bool] = None,
         artifact_dir=None,
     ) -> None:
         self.machine = machine if machine is not None else LX2()
@@ -71,12 +73,22 @@ class ExperimentRunner:
         # ``timing`` selects the sampled-replay strategy of the compiled
         # engine ("columnar"/"scalar"); it IS part of the disk key (when
         # non-default) so a demotion-related divergence could never be
-        # masked by a cache hit from the other mode.  ``artifact_dir``
-        # additionally installs the compiled-artifact store, so template
-        # fitting / program lowering load from disk instead of rebuilding.
+        # masked by a cache hit from the other mode.  ``steady`` selects
+        # band-periodic steady-state elision ("on"/"off", same keying
+        # rationale), and ``sample`` forces full (False) or band-sampled
+        # (True) timing for every cell instead of the automatic size-based
+        # choice (``None``); both are keyed only when non-default.
+        # ``artifact_dir`` additionally installs the compiled-artifact
+        # store, so template fitting / program lowering load from disk
+        # instead of rebuilding.
         self.artifact_dir = artifact_dir
+        self.sample = sample
         self.engine = TimingEngine(
-            self.machine, engine=engine, timing=timing, artifact_dir=artifact_dir
+            self.machine,
+            engine=engine,
+            timing=timing,
+            steady=steady,
+            artifact_dir=artifact_dir,
         )
         self.disk_cache = MeasurementCache(cache_dir) if cache_dir else None
         self._cache: Dict[Tuple, Measurement] = {}
@@ -130,13 +142,16 @@ class ExperimentRunner:
             disk_key, inputs = cache_key(
                 self.machine, method, stencil, tuple(shape), self.options, plan, warm,
                 iters=iters, timing=self.engine.timing, engine=self.engine.engine,
+                sample=self.sample, steady=self.engine.steady,
             )
             counters = self.disk_cache.load(disk_key)
 
         if counters is None:
             spec = stencil_benchmark(stencil)
             kernel = self._build(method, spec, shape)
-            counters = self.engine.run(kernel, warm=warm, plan=plan, iters=iters)
+            counters = self.engine.run(
+                kernel, sample=self.sample, warm=warm, plan=plan, iters=iters
+            )
             counters.label = f"{method}/{stencil}/{shape}"
             self._provenance[key] = "simulated"
             if self.disk_cache is not None:
@@ -206,6 +221,8 @@ class ExperimentRunner:
             runner=self,
             engine=self.engine.engine,
             timing=self.engine.timing,
+            steady=self.engine.steady,
+            sample=self.sample,
             artifact_dir=self.artifact_dir,
         )
 
@@ -282,6 +299,8 @@ class ExperimentRunner:
             runner=self,
             engine=self.engine.engine,
             timing=self.engine.timing,
+            steady=self.engine.steady,
+            sample=self.sample,
             artifact_dir=self.artifact_dir,
             action="precompile",
         )

@@ -97,6 +97,8 @@ def _runner(args) -> ExperimentRunner:
         cache_dir=_dir_arg(args, "cache_dir"),
         engine=getattr(args, "engine", None),
         timing=getattr(args, "timing", None),
+        steady=getattr(args, "steady", None),
+        sample=getattr(args, "sample", None),
         artifact_dir=_dir_arg(args, "artifact_dir"),
     )
 
@@ -268,6 +270,7 @@ def cmd_scaling(args) -> int:
         machine,
         engine=args.engine,
         timing=args.timing,
+        steady=getattr(args, "steady", None),
         artifact_dir=_dir_arg(args, "artifact_dir"),
     )
     points = mc.series_from_slices(slices, n, cores)
@@ -326,6 +329,8 @@ def cmd_precompile(args) -> int:
             cache_dir=_dir_arg(args, "cache_dir"),
             engine=getattr(args, "engine", None),
             timing=getattr(args, "timing", None),
+            steady=getattr(args, "steady", None),
+            sample=getattr(args, "sample", None),
             artifact_dir=artifact_dir,
         )
         results = runner.precompile(cells, jobs=args.jobs, progress=args.jobs > 1)
@@ -366,6 +371,8 @@ def cmd_serve(args) -> int:
         artifact_dir=_dir_arg(args, "artifact_dir") or os.environ.get("REPRO_ARTIFACTS"),
         engine=getattr(args, "engine", None),
         timing=getattr(args, "timing", None),
+        steady=getattr(args, "steady", None),
+        sample=getattr(args, "sample", None),
     )
 
     async def main_async() -> None:
@@ -541,6 +548,20 @@ def build_parser() -> argparse.ArgumentParser:
             help="band-sampled replay mode (default: REPRO_TIMING env var, then columnar)",
         )
         p.add_argument(
+            "--steady",
+            choices=["on", "off"],
+            default=None,
+            help="band-periodic steady-state elision on full runs "
+            "(default: REPRO_STEADY env var, then on; bit-identical either way)",
+        )
+        p.add_argument(
+            "--sample",
+            action=argparse.BooleanOptionalAction,
+            default=None,
+            help="force band-sampled (--sample) or full exact (--no-sample) "
+            "timing for every cell (default: automatic by grid size)",
+        )
+        p.add_argument(
             "--artifact-dir",
             default=None,
             help="compiled-artifact store directory (templates, lowered "
@@ -613,6 +634,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--timing", choices=["columnar", "scalar"], default=None,
         help="band-sampled replay mode (default: REPRO_TIMING env var, then columnar)",
+    )
+    p.add_argument(
+        "--steady", choices=["on", "off"], default=None,
+        help="band-periodic steady-state elision on full runs "
+        "(default: REPRO_STEADY env var, then on)",
+    )
+    p.add_argument(
+        "--sample", action=argparse.BooleanOptionalAction, default=None,
+        help="force band-sampled (--sample) or full exact (--no-sample) timing",
     )
     _engine_arg(p)
 

@@ -188,6 +188,40 @@ def _frame_analysis(
     return (False,) * n, 0, nonuniform
 
 
+def operand_extents(trace, addrs: Sequence[int]):
+    """Word-address extents of every memory operand in ``trace``.
+
+    Yields ``(addr_index, lo_word, hi_word, writes)`` for each instruction
+    carrying an address field, with the extent rebased onto ``addrs`` (the
+    block's actual address vector; the trace embeds the template's
+    ``addr0``).  ``hi_word`` is exclusive.  PRFM has no architectural
+    read/write regions, so its extent is the prefetched span and ``writes``
+    reflects its write hint — callers treating static stores as disqualifying
+    therefore also reject write-hinted prefetches of static data.
+    """
+    from repro.isa.instructions import PRFM
+    from repro.machine.compiled import ADDR_FIELDS
+
+    aidx = 0
+    for ins in trace:
+        if type(ins) not in ADDR_FIELDS:
+            continue
+        if isinstance(ins, PRFM):
+            regions = ((ins.addr, ins.length),)
+            writes = bool(ins.write)
+        else:
+            reads = tuple(ins.mem_reads())
+            wr = tuple(ins.mem_writes())
+            regions = reads + wr
+            writes = bool(wr)
+        if regions:
+            shift = int(addrs[aidx]) - int(getattr(ins, "addr"))
+            lo = min(a for a, _n in regions) + shift
+            hi = max(a + n for a, n in regions) + shift
+            yield aidx, int(lo), int(hi), writes
+        aidx += 1
+
+
 class RowTemplate:
     """One compiled shape class: a representative trace plus address model."""
 

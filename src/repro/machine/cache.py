@@ -25,6 +25,7 @@ Statistics follow the paper's ``perf``-based methodology:
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
@@ -99,6 +100,8 @@ class CacheLevel:
         self._tick = 0
         self._dirty: set = set()
         self.stats = CacheStats()
+        #: Memoized ``(validity key, digest)`` for :meth:`signature_digest`.
+        self._sig_memo: Optional[tuple] = None
 
     def _set_index(self, line: int) -> int:
         return line % self.num_sets
@@ -155,7 +158,28 @@ class CacheLevel:
         sets = tuple(
             tuple(sorted(ways, key=ways.__getitem__)) for ways in self._sets
         )
-        return sets, frozenset(self._dirty)
+        # Sorted tuple, not a set: signatures are also digested via repr,
+        # which must not depend on hash-table insertion history.
+        return sets, tuple(sorted(self._dirty))
+
+    def signature_digest(self) -> str:
+        """Digest of :meth:`state_signature`, memoized on a mutation key.
+
+        Every state mutation either bumps ``_tick`` (lookups, installs,
+        evictions, flushes, jump-time relocation) or grows ``_dirty``
+        (``mark_dirty`` and the inlined dirty-add fast paths — removal only
+        ever happens on eviction/flush, which bump the tick), so
+        ``(_tick, len(_dirty))`` is a sound validity key: an unchanged key
+        means an unchanged signature, and repeated digests of an unchanged
+        level skip the full per-set serialization.
+        """
+        key = (self._tick, len(self._dirty))
+        memo = self._sig_memo
+        if memo is not None and memo[0] == key:
+            return memo[1]
+        digest = hashlib.sha256(repr(self.state_signature()).encode()).hexdigest()
+        self._sig_memo = (key, digest)
+        return digest
 
     def clone(self) -> "CacheLevel":
         """Independent copy of all replacement state and statistics.
@@ -172,6 +196,7 @@ class CacheLevel:
         out._tick = self._tick
         out._dirty = set(self._dirty)
         out.stats = self.stats.copy()
+        out._sig_memo = self._sig_memo
         return out
 
     def resident_lines(self) -> int:
@@ -184,6 +209,7 @@ class CacheLevel:
         for ways in self._sets:
             ways.clear()
         self._dirty.clear()
+        self._tick += 1  # state changed: invalidate the signature-digest memo
         return dirty
 
 
@@ -202,6 +228,14 @@ class CacheHierarchy:
         self.l2 = CacheLevel(config.l2, "L2")
         self.mem_lines_read = 0
         self.mem_lines_written = 0
+        #: Steady-state verification watch (:mod:`repro.machine.steady`):
+        #: while armed (a frozenset of static lines), every channel through
+        #: which one of those lines could reach L2 — an L1 demand miss, a
+        #: software-prefetch fill, a hardware-prefetch fill, or a dirty L1
+        #: victim written back — bumps ``static_watch_hits``.  Any hit
+        #: invalidates the steady window's L2-rotation argument.
+        self.static_watch: Optional[frozenset] = None
+        self.static_watch_hits = 0
 
     # -- address helpers ------------------------------------------------------
 
@@ -252,6 +286,8 @@ class CacheHierarchy:
         Split out so the compiled replay loop can inline the L1-hit probe
         and share this exact slow path.
         """
+        if self.static_watch is not None and line in self.static_watch:
+            self.static_watch_hits += 1
         self.l2.stats.demand_accesses += 1
         if self.l2.lookup(line):
             self.l2.stats.demand_hits += 1
@@ -276,6 +312,8 @@ class CacheHierarchy:
             if self.l1.lookup(line):
                 self.l1.stats.prefetch_probe_hits += 1
                 continue
+            if self.static_watch is not None and line in self.static_watch:
+                self.static_watch_hits += 1
             if not self.l2.lookup(line):
                 self.mem_lines_read += 1
                 self._fill_l2(line)
@@ -286,6 +324,8 @@ class CacheHierarchy:
         """Fill a line on behalf of the hardware stream prefetcher."""
         if self.l1.contains(line):
             return
+        if self.static_watch is not None and line in self.static_watch:
+            self.static_watch_hits += 1
         if not self.l2.lookup(line):
             self.mem_lines_read += 1
             self._fill_l2(line)
@@ -298,6 +338,8 @@ class CacheHierarchy:
         victim = self.l1.install(line, dirty=dirty)
         if victim is not None:
             # Dirty L1 eviction: write back into L2.
+            if self.static_watch is not None and victim in self.static_watch:
+                self.static_watch_hits += 1
             if not self.l2.lookup(victim, update_lru=False):
                 l2_victim = self.l2.install(victim, dirty=True)
                 if l2_victim is not None:
@@ -323,6 +365,8 @@ class CacheHierarchy:
         out.l2 = self.l2.clone()
         out.mem_lines_read = self.mem_lines_read
         out.mem_lines_written = self.mem_lines_written
+        out.static_watch = self.static_watch
+        out.static_watch_hits = self.static_watch_hits
         return out
 
     def reset_stats(self) -> None:

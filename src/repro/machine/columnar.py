@@ -648,6 +648,8 @@ class ColumnarReplayer:
         pf_confirm = pf.confirm_advances
         pf_max = pf.num_streams
         pf_depth = pf.depth
+        watch = hierarchy.static_watch
+        watch_hits = 0
         demand_accesses = 0
         demand_hits = 0
         l2_demand_accesses = 0
@@ -681,7 +683,7 @@ class ColumnarReplayer:
             # to clipping the range at the page's last line up front —
             # which also turns the issue counter into one bulk add.
             nonlocal l1_tick, l2_tick, mem_reads, mem_writes
-            nonlocal prefetch_fills, prefetches_issued
+            nonlocal prefetch_fills, prefetches_issued, watch_hits
             stream.advances += 1
             stream.tail_line = line
             pf_streams[line] = stream
@@ -696,6 +698,8 @@ class ColumnarReplayer:
                 for target in range(line + 1, stop + 1):
                     ways = l1_sets[target % l1_num_sets]
                     if target not in ways:
+                        if watch is not None and target in watch:
+                            watch_hits += 1
                         ways2 = l2_sets[target % l2_num_sets]
                         if target in ways2:
                             l2_tick += 1
@@ -717,6 +721,8 @@ class ColumnarReplayer:
                             victim = _lru_victim(ways)
                             del ways[victim]
                             if victim in l1_dirty:
+                                if watch is not None and victim in watch:
+                                    watch_hits += 1
                                 l1_dirty.discard(victim)
                                 l1_stats.writebacks += 1
                                 wv = l2_sets[victim % l2_num_sets]
@@ -764,6 +770,8 @@ class ColumnarReplayer:
                         ways[line] = l1_tick
                         pf_probe_hits += 1
                         continue
+                    if watch is not None and line in watch:
+                        watch_hits += 1
                     ways2 = l2_sets[line % l2_num_sets]
                     if line in ways2:
                         l2_tick += 1
@@ -787,6 +795,8 @@ class ColumnarReplayer:
                         victim = _lru_victim(ways)
                         del ways[victim]
                         if victim in l1_dirty:
+                            if watch is not None and victim in watch:
+                                watch_hits += 1
                             l1_dirty.discard(victim)
                             l1_stats.writebacks += 1
                             wv = l2_sets[victim % l2_num_sets]
@@ -879,6 +889,8 @@ class ColumnarReplayer:
                         if is_store:
                             l1_dirty.add(line)
                     else:
+                        if watch is not None and line in watch:
+                            watch_hits += 1
                         l2_demand_accesses += 1
                         ways2 = l2_sets[line % l2_num_sets]
                         if line in ways2:
@@ -906,6 +918,8 @@ class ColumnarReplayer:
                             victim = _lru_victim(ways)
                             del ways[victim]
                             if victim in l1_dirty:
+                                if watch is not None and victim in watch:
+                                    watch_hits += 1
                                 l1_dirty.discard(victim)
                                 l1_stats.writebacks += 1
                                 wv = l2_sets[victim % l2_num_sets]
@@ -959,6 +973,8 @@ class ColumnarReplayer:
         hierarchy.mem_lines_read += mem_reads
         hierarchy.mem_lines_written += mem_writes
         pf.prefetches_issued += prefetches_issued
+        if watch_hits:
+            hierarchy.static_watch_hits += watch_hits
         return bytes(levels_out)
 
     # -- phase two: scoreboard -------------------------------------------------

@@ -1133,6 +1133,15 @@ class TimingMemo:
             # never recur, so recording them is pure overhead.
             pipe.process_template(program, addrs)
             return
+        if pipe.hierarchy.static_watch is not None:
+            # A steady-state verification window is open: the window's
+            # zero-static-event proof needs every cache event to flow
+            # through the instrumented paths, and _apply's recorded
+            # transitions would sidestep them.  The memo is a pure
+            # performance layer (bit-identical either way), so suspend it
+            # for the window's bands rather than give up on elision.
+            pipe.process_template(program, addrs)
+            return
         base = addrs[template.base_addr_idx] if addrs else 0
         base_line = base // self._line_words
 

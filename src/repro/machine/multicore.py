@@ -87,6 +87,7 @@ class MulticoreModel:
         config: MachineConfig,
         engine: Optional[str] = None,
         timing: Optional[str] = None,
+        steady: Optional[str] = None,
         timing_engine: Optional[TimingEngine] = None,
         artifact_dir=None,
     ) -> None:
@@ -97,7 +98,11 @@ class MulticoreModel:
             self.engine = timing_engine
         else:
             self.engine = TimingEngine(
-                config, engine=engine, timing=timing, artifact_dir=artifact_dir
+                config,
+                engine=engine,
+                timing=timing,
+                steady=steady,
+                artifact_dir=artifact_dir,
             )
 
     def run_slice(
@@ -107,6 +112,29 @@ class MulticoreModel:
     ) -> PerfCounters:
         """Time one core's slice (band-sampled for large slices)."""
         return self.engine.run(kernel, plan=plan)
+
+    def lockstep_slices(
+        self,
+        kernels: Sequence[Kernel],
+        *,
+        warm: bool = True,
+    ) -> List[PerfCounters]:
+        """Simulate explicit per-core slice kernels in band-lockstep.
+
+        Unlike :meth:`strong_scaling` — which exploits slice symmetry and
+        simulates one slice per distinct height — this times every supplied
+        slice kernel in full, with all cores advancing one outer-loop band
+        at a time.  Steady-state elision only engages when every core's
+        controller is ready with the same period at the same boundary
+        (:meth:`~repro.machine.timing.TimingEngine.run_lockstep`); a single
+        demotion abandons elision on all cores, so each returned
+        :class:`PerfCounters` is bit-identical to timing that slice alone
+        with ``sample=False``.  Per-core controller accounting lands on the
+        engine's ``lockstep_steady_stats``.
+        """
+        if not kernels:
+            raise ValueError("lockstep_slices needs at least one slice kernel")
+        return self.engine.run_lockstep(kernels, warm=warm)
 
     def scaling_point(
         self,

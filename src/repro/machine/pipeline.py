@@ -195,6 +195,7 @@ class PipelineModel:
         access_line_miss = hierarchy._access_line_miss
         fill_l1 = hierarchy._fill_l1
         fill_l2 = hierarchy._fill_l2
+        watch = hierarchy.static_watch
         line_words = hierarchy.line_words
         l1 = hierarchy.l1
         l1_stats = l1.stats
@@ -319,6 +320,11 @@ class PipelineModel:
                                                     target
                                                     not in l1_sets[target % l1_num_sets]
                                                 ):
+                                                    if (
+                                                        watch is not None
+                                                        and target in watch
+                                                    ):
+                                                        hierarchy.static_watch_hits += 1
                                                     ways2 = l2_sets[
                                                         target % l2_num_sets
                                                     ]
@@ -415,6 +421,20 @@ class PipelineModel:
         foundation of the pass-level memoization in
         :class:`~repro.machine.timing.TimingEngine`.
         """
+        h = self.hierarchy
+        return (
+            self._core_signature(),
+            h.l1.state_signature(),
+            h.l2.state_signature(),
+            self.prefetcher.state_signature(),
+        )
+
+    def _core_signature(self) -> tuple:
+        """Frontier-relative pipeline core state (no cache/prefetcher parts).
+
+        Shared by :meth:`state_signature`, :meth:`state_digest` and the
+        band-rebased signatures of :mod:`repro.machine.steady`.
+        """
         f = self._frontier
         ports = tuple(
             (str(port), tuple(sorted(max(v - f, 0) for v in pipes)))
@@ -425,19 +445,30 @@ class PipelineModel:
         ready = tuple(
             sorted((str(k), v - f) for k, v in self._ready.items() if v > f)
         )
-        core = (
+        return (
             ports,
             ready,
             self._cycle - f,
             self._issued_this_cycle,
             max(self.makespan - f, 0),
         )
+
+    def state_digest(self) -> tuple:
+        """Compact equivalent of :meth:`state_signature` for equality checks.
+
+        The pipeline core stays structural (it is small), while the cache
+        levels and the stream table collapse to memoized digests — repeated
+        boundary checks against unchanged caches then skip the full per-set
+        serialization (see ``CacheLevel.signature_digest``).  Two states
+        compare equal iff their full signatures do (modulo hash collisions,
+        the same assumption every digest in the artifact layer makes).
+        """
         h = self.hierarchy
         return (
-            core,
-            h.l1.state_signature(),
-            h.l2.state_signature(),
-            self.prefetcher.state_signature(),
+            self._core_signature(),
+            h.l1.signature_digest(),
+            h.l2.signature_digest(),
+            self.prefetcher.signature_digest(),
         )
 
     def _miss_penalty(self, level: int) -> int:

@@ -27,6 +27,7 @@ such hardware features" while row-streaming vector kernels stay covered.
 
 from __future__ import annotations
 
+import hashlib
 from collections import OrderedDict
 from dataclasses import dataclass
 
@@ -70,6 +71,8 @@ class StreamPrefetcher:
         self.prefetches_issued = 0
         self.streams_confirmed = 0
         self.streams_allocated = 0
+        #: Memoized ``(signature, digest)`` for :meth:`signature_digest`.
+        self._sig_memo = None
 
     def observe(self, word_addr: int, nwords: int, hit: bool = False) -> None:
         """Train on a demand access (loads and stores both train).
@@ -152,6 +155,22 @@ class StreamPrefetcher:
         but the exact count is kept so equality stays trivially sound.
         """
         return tuple((line, s.advances) for line, s in self._streams.items())
+
+    def signature_digest(self) -> str:
+        """Digest of :meth:`state_signature`, memoized on the signature.
+
+        The stream table is tiny (at most ``num_streams`` entries), so the
+        signature tuple itself is cheap to rebuild and doubles as its own
+        validity key — hot paths mutate ``_streams`` through local aliases,
+        so no mutation counter could be kept coherent here.
+        """
+        sig = self.state_signature()
+        memo = self._sig_memo
+        if memo is not None and memo[0] == sig:
+            return memo[1]
+        digest = hashlib.sha256(repr(sig).encode()).hexdigest()
+        self._sig_memo = (sig, digest)
+        return digest
 
     def reset_stats(self) -> None:
         self.prefetches_issued = 0

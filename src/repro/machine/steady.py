@@ -1,0 +1,703 @@
+"""Band-periodic steady-state elision: exact full-grid timing in O(prologue + period).
+
+A stencil sweep's machine state at *band boundaries* is overwhelmingly
+periodic once the caches reach capacity streaming: every band touches the
+same line pattern shifted by one fixed stride, so the cache tags, the
+prefetcher stream table and the pipeline scoreboard recur *modulo a uniform
+address shift*.  This module detects that recurrence, verifies one full
+period live, and then applies the remaining bands arithmetically — the same
+fixed-point trick the pass-level memoization plays across measured passes
+(PR 3), pushed down to band granularity within a single pass.
+
+Soundness rests on three pillars:
+
+* **A band certificate** (:func:`build_certificate`), built once from a
+  representative interior band whose shape classes are already compiled:
+  every block templated, every template two-frame clean, all band-moving
+  operands advancing by one common per-band stride ``d_lines`` (whole cache
+  lines), all band-static operands read-only and page-disjoint from the
+  moving span (with a one-page margin so a prefetch stream adjacent to the
+  moving region can never walk into static data).  The certificate also
+  fixes the **period alignment**: a candidate period ``p`` is only eligible
+  when ``p * d_lines`` is a multiple of both the L1 set count and the
+  4 KiB page size, so a shift by ``p`` bands preserves L1 set indices and
+  page offsets exactly.  L2 set indices are *not* constrained — the L2
+  signature is compared under a set *rotation* instead, which is a true
+  automorphism of LRU behaviour as long as no static line lives in L2.
+
+* **Rebased signatures** (:func:`rebased_signature`): the exact
+  ``state_signature()`` structure with every moving cache tag, dirty bit
+  and stream-table entry translated back by ``k * d_lines`` at boundary
+  ``k``, L2 sets read off in rotated order, and static lines kept fixed
+  (tagged so a static tag can never collide with a translated moving one).
+  The signature is ``None`` — boundary ineligible — while any static line
+  sits in L2, because the rotation argument needs an all-moving L2.
+
+* **Probe-verify-or-demote**: a recurring digest with an aligned period is
+  only a *candidate*.  One additional full period is simulated live with a
+  **static watch** armed on the hierarchy (counting demand misses,
+  software-prefetch fills, hardware-prefetch fills and dirty-victim
+  writebacks that touch a certificate-static line, i.e. every channel by
+  which a static line could enter L2 mid-period).  The elision engages only
+  if the signature digest recurs again, the raw counter delta repeats
+  exactly, the watch saw zero events and the compiler's edge width never
+  widened.  Any mismatch demotes the run permanently to the plain band
+  walk — the result is then simply the exact simulation, never an
+  approximation.
+
+The engaged jump multiplies the verified per-period counter delta onto the
+raw pipeline/cache/prefetcher counters (exact integer arithmetic, the
+``_add_scaled`` contract), shifts every moving line by ``m * p * d_lines``
+and every scoreboard/port timestamp by the period's cycle delta.  Verified
+``(period, delta, digest)`` records persist in the artifact store so warm
+processes skip detection and go straight to the verification window.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.machine import artifacts
+from repro.machine.config import MachineConfig
+from repro.machine.pipeline import PipelineModel
+from repro.machine.prefetcher import LINES_PER_PAGE, _Stream
+
+#: Grids with fewer bands than this never amortize detection + verification.
+MIN_BANDS = 8
+
+#: Moving spans smaller than this many L2 capacities are (near-)resident:
+#: band boundaries then depend on the whole access history rather than a
+#: streaming window, recurrence is unlikely, and the per-boundary signature
+#: walk would be pure overhead on in-cache workloads.
+SPAN_L2_FACTOR = 2
+
+#: Detection gives up (and stops paying for signatures) when no aligned
+#: recurrence appeared within this many aligned periods plus slack.
+DETECT_ALIGN_WINDOW = 6
+DETECT_SLACK = 8
+
+#: Pages of clearance required between static lines and the moving span.
+PAGE_MARGIN = 1
+
+#: Number of integer fields in a raw counter vector (ports excluded).
+_N_RAW = 24
+
+
+@dataclass
+class SteadyStats:
+    """Run-level accounting for the steady-state controller."""
+
+    detect_sigs: int = 0
+    record_probes: int = 0
+    candidates: int = 0
+    verified: int = 0
+    engaged: int = 0
+    demoted: int = 0
+    elided_bands: int = 0
+    record_mode: bool = False
+    disabled: str = ""
+
+    def to_dict(self) -> Dict:
+        return {
+            "detect_sigs": self.detect_sigs,
+            "record_probes": self.record_probes,
+            "candidates": self.candidates,
+            "verified": self.verified,
+            "engaged": self.engaged,
+            "demoted": self.demoted,
+            "elided_bands": self.elided_bands,
+            "record_mode": self.record_mode,
+            "disabled": self.disabled,
+        }
+
+
+@dataclass(frozen=True)
+class BandCertificate:
+    """Static proof obligations for band-periodic elision (see module doc)."""
+
+    edge: int
+    d_lines: int
+    align: int
+    static_lines: frozenset
+    span_lines: int
+
+
+def build_certificate(
+    compiler, bands, config: MachineConfig
+) -> Tuple[Optional[BandCertificate], str]:
+    """Certify a kernel's bands for periodic elision, or explain why not.
+
+    Must be called only after at least one interior band has executed, so
+    every interior shape class is already resolved — ``compiler.lookup``
+    then never triggers new probe emits or edge widening.
+    """
+    from repro.kernels.template import operand_extents
+
+    edge = compiler.edge
+    B = len(bands)
+    if B < MIN_BANDS or B <= 2 * edge + 2:
+        return None, "too-few-bands"
+    keys = []
+    for band in bands:
+        k0s = {b.key[0] for b in band}
+        if len(k0s) != 1:
+            return None, "mixed-band-keys"
+        keys.append(k0s.pop())
+    step = keys[1] - keys[0]
+    if step <= 0 or any(keys[i + 1] - keys[i] != step for i in range(B - 1)):
+        return None, "nonuniform-band-keys"
+
+    line_words = config.l1.line_bytes // 8
+    d_words: Optional[int] = None
+    static_lines: set = set()
+    moving_lo: Optional[int] = None
+    moving_hi: Optional[int] = None
+    for block in bands[edge]:
+        entry = compiler.lookup(block)
+        if entry is None:
+            return None, "untemplated-block"
+        template, addrs = entry
+        if template.nonuniform_dims:
+            return None, "nonuniform-template"
+        delta0 = None
+        for d, delta in template.deltas:
+            if d == 0:
+                delta0 = delta
+                break
+        for aidx, lo, hi, writes in operand_extents(template.trace, addrs):
+            v = 0 if delta0 is None else int(delta0[aidx])
+            first = lo // line_words
+            last = (hi - 1) // line_words
+            if v == 0:
+                if writes:
+                    # A written static line would turn dirty and eventually
+                    # wash into L2, breaking the all-moving-L2 rotation.
+                    return None, "static-store"
+                static_lines.update(range(first, last + 1))
+            else:
+                move = v * step
+                if d_words is None:
+                    d_words = move
+                elif move != d_words:
+                    return None, "mixed-strides"
+                moving_lo = first if moving_lo is None else min(moving_lo, first)
+                moving_hi = last if moving_hi is None else max(moving_hi, last)
+    if compiler.edge != edge:
+        return None, "edge-widened"
+    if d_words is None or d_words <= 0:
+        return None, "no-band-motion"
+    if d_words % line_words:
+        return None, "unaligned-stride"
+    d_lines = d_words // line_words
+
+    # Moving span over every interior band (the steady window only ever
+    # covers interior bands; prologue/epilogue always run live).
+    span_lo = int(moving_lo)
+    span_hi = int(moving_hi) + (B - 1 - 2 * edge) * d_lines
+    span_lines = span_hi - span_lo + 1
+    l2_capacity = config.l2.num_sets * config.l2.associativity
+    if span_lines <= SPAN_L2_FACTOR * l2_capacity:
+        return None, "in-cache"
+
+    static_pages = {ln // LINES_PER_PAGE for ln in static_lines}
+    page_lo = span_lo // LINES_PER_PAGE - PAGE_MARGIN
+    page_hi = span_hi // LINES_PER_PAGE + PAGE_MARGIN
+    if any(page_lo <= pg <= page_hi for pg in static_pages):
+        return None, "static-overlaps-moving"
+
+    n1 = config.l1.num_sets
+    a1 = n1 // math.gcd(d_lines, n1)
+    ap = LINES_PER_PAGE // math.gcd(d_lines, LINES_PER_PAGE)
+    align = a1 * ap // math.gcd(a1, ap)
+    cert = BandCertificate(
+        edge=edge,
+        d_lines=d_lines,
+        align=align,
+        static_lines=frozenset(static_lines),
+        span_lines=span_lines,
+    )
+    return cert, ""
+
+
+# -- rebased signatures -------------------------------------------------------
+
+
+def rebased_signature(
+    pipe: PipelineModel, static_lines: frozenset, off: int
+) -> Optional[tuple]:
+    """Band-relative machine state at a boundary ``off = k * d_lines`` lines in.
+
+    Returns ``None`` while any static line is resident in L2 (the L2
+    rotation argument requires an all-moving L2).  Static tags are kept
+    fixed and tagged ``("s", line)`` so they can never collide with a
+    translated moving tag.  Dirty sets are serialized as *sorted tuples*:
+    signatures are compared by digest-of-repr, which must not depend on
+    hash-table insertion history.
+    """
+    h = pipe.hierarchy
+    l1 = h.l1
+    l1_sig = tuple(
+        tuple(
+            (("s", t) if t in static_lines else t - off)
+            for t in sorted(ways, key=ways.__getitem__)
+        )
+        for ways in l1._sets
+    )
+    l1_dirty = tuple(
+        sorted(
+            ((("s", t) if t in static_lines else t - off) for t in l1._dirty),
+            key=lambda t: (1, t[1]) if type(t) is tuple else (0, t),
+        )
+    )
+    l2 = h.l2
+    n2 = l2.num_sets
+    rot = off % n2
+    l2_sets = l2._sets
+    l2_sig: List[tuple] = []
+    for sigma in range(n2):
+        ways = l2_sets[(sigma + rot) % n2]
+        tags = []
+        for t in sorted(ways, key=ways.__getitem__):
+            if t in static_lines:
+                return None
+            tags.append(t - off)
+        l2_sig.append(tuple(tags))
+    l2_dirty = tuple(sorted(t - off for t in l2._dirty))
+    pf_sig = tuple(
+        ((("s", line) if line in static_lines else line - off), s.advances)
+        for line, s in pipe.prefetcher._streams.items()
+    )
+    return (
+        pipe._core_signature(),
+        (l1_sig, l1_dirty),
+        (tuple(l2_sig), l2_dirty),
+        pf_sig,
+    )
+
+
+# -- raw counter algebra ------------------------------------------------------
+#
+# A raw vector is ``(core, ports)``: ``core`` is a fixed-order integer tuple
+# (the order below is mirrored exactly by ``apply_jump``), ``ports`` a sorted
+# tuple of ``(str(port), count)``.  Index 1 is the in-order frontier; signature
+# equality at both window endpoints forces the makespan (0) and cycle (2)
+# deltas to equal the frontier delta, which ``SteadyController`` checks before
+# trusting a window.
+
+
+def raw_counters(pipe: PipelineModel) -> tuple:
+    h = pipe.hierarchy
+    a = h.l1.stats
+    b = h.l2.stats
+    pf = pipe.prefetcher
+    core = (
+        pipe.makespan,
+        pipe._frontier,
+        pipe._cycle,
+        pipe.instructions_retired,
+        pipe.flops,
+        pipe.useful_flops,
+        pipe.sw_prefetches,
+        a.demand_accesses,
+        a.demand_hits,
+        a.prefetch_probes,
+        a.prefetch_probe_hits,
+        a.prefetch_fills,
+        a.writebacks,
+        b.demand_accesses,
+        b.demand_hits,
+        b.prefetch_probes,
+        b.prefetch_probe_hits,
+        b.prefetch_fills,
+        b.writebacks,
+        h.mem_lines_read,
+        h.mem_lines_written,
+        pf.prefetches_issued,
+        pf.streams_confirmed,
+        pf.streams_allocated,
+    )
+    ports = tuple(
+        sorted((str(p), int(n)) for p, n in pipe.instructions_by_port.items())
+    )
+    return core, ports
+
+
+def raw_delta(after: tuple, before: tuple) -> tuple:
+    core = tuple(x - y for x, y in zip(after[0], before[0]))
+    pa = dict(after[1])
+    pb = dict(before[1])
+    ports = tuple(
+        sorted((k, pa.get(k, 0) - pb.get(k, 0)) for k in set(pa) | set(pb))
+    )
+    return core, ports
+
+
+def apply_jump(
+    pipe: PipelineModel, static_lines: frozenset, shift: int, m: int, delta: tuple
+) -> None:
+    """Advance the machine by ``m`` verified periods without simulating them.
+
+    ``shift`` is the total line translation (``m * period * d_lines``; the
+    caller guarantees it is a multiple of the L1 set count and the page
+    size).  Counters gain ``m * delta`` exactly; every moving cache tag,
+    dirty bit and stream-table entry translates by ``shift``; the scoreboard,
+    port frontiers, cycle bookkeeping and makespan translate by the period's
+    cycle delta.  Scoreboard entries already at or below the frontier are
+    dead (they can never raise a future issue cycle), so translating them
+    uniformly preserves every future issue decision bit-exactly.
+    """
+    core, ports = delta
+    T = m * core[1]
+
+    pipe.makespan += m * core[0]
+    pipe._frontier += T
+    pipe._cycle += m * core[2]
+    pipe.instructions_retired += m * core[3]
+    pipe.flops += m * core[4]
+    pipe.useful_flops += m * core[5]
+    pipe.sw_prefetches += m * core[6]
+    h = pipe.hierarchy
+    a = h.l1.stats
+    a.demand_accesses += m * core[7]
+    a.demand_hits += m * core[8]
+    a.prefetch_probes += m * core[9]
+    a.prefetch_probe_hits += m * core[10]
+    a.prefetch_fills += m * core[11]
+    a.writebacks += m * core[12]
+    b = h.l2.stats
+    b.demand_accesses += m * core[13]
+    b.demand_hits += m * core[14]
+    b.prefetch_probes += m * core[15]
+    b.prefetch_probe_hits += m * core[16]
+    b.prefetch_fills += m * core[17]
+    b.writebacks += m * core[18]
+    h.mem_lines_read += m * core[19]
+    h.mem_lines_written += m * core[20]
+    pf = pipe.prefetcher
+    pf.prefetches_issued += m * core[21]
+    pf.streams_confirmed += m * core[22]
+    pf.streams_allocated += m * core[23]
+    by_port = pipe.instructions_by_port
+    port_by_name = {str(p): p for p in pipe._port_free}
+    for name, n in ports:
+        if n:
+            by_port[port_by_name[name]] += m * n
+
+    pipe._ready = {k: v + T for k, v in pipe._ready.items()}
+    for pipes in pipe._port_free.values():
+        for i in range(len(pipes)):
+            pipes[i] += T
+
+    l1 = h.l1
+    l1._sets = [
+        {(t if t in static_lines else t + shift): tick for t, tick in ways.items()}
+        for ways in l1._sets
+    ]
+    l1._dirty = {(t if t in static_lines else t + shift) for t in l1._dirty}
+    l1._tick += 1  # invalidate the signature-digest memo
+    l2 = h.l2
+    n2 = l2.num_sets
+    new_sets: List[Dict[int, int]] = [dict() for _ in range(n2)]
+    for ways in l2._sets:
+        for t, tick in ways.items():
+            t2 = t + shift
+            new_sets[t2 % n2][t2] = tick
+    l2._sets = new_sets
+    l2._dirty = {t + shift for t in l2._dirty}
+    l2._tick += 1
+    streams: "OrderedDict[int, _Stream]" = OrderedDict()
+    for line, s in pf._streams.items():
+        line2 = line if line in static_lines else line + shift
+        streams[line2] = _Stream(tail_line=line2, advances=s.advances)
+    pf._streams = streams
+
+
+# -- persisted records --------------------------------------------------------
+
+
+def steady_record_key(compiler) -> Optional[str]:
+    """Artifact-store digest for a kernel's steady record, or ``None``.
+
+    Mirrors the template bundle identity (machine digest, kernel/spec/grid
+    fingerprints, options, shape) under its own ``kind`` so a steady record
+    invalidates on exactly the same inputs as the templates it rides on.
+    """
+    inputs = compiler._bundle_key_inputs()
+    if inputs is None:
+        return None
+    inputs = dict(inputs)
+    inputs["kind"] = "steady"
+    return artifacts.artifact_digest(inputs)
+
+
+# -- the controller -----------------------------------------------------------
+
+
+class SteadyController:
+    """Detect -> verify -> engage state machine for one pass of one kernel.
+
+    Drive it with :meth:`after_band` after each completed band (solo), or
+    with :meth:`observe_band` / :meth:`engage` from a lockstep driver that
+    requires all cores to be ready simultaneously.  ``k`` is always the
+    number of completed bands.  Any mismatch disables the controller for
+    the rest of the run — the pass then finishes as a plain exact walk.
+    """
+
+    def __init__(
+        self,
+        pipe: PipelineModel,
+        compiler,
+        bands,
+        config: MachineConfig,
+        *,
+        record: Optional[Dict] = None,
+        on_record: Optional[Callable[[Dict], None]] = None,
+        stats: Optional[SteadyStats] = None,
+    ) -> None:
+        self.pipe = pipe
+        self.compiler = compiler
+        self.bands = bands
+        self.B = len(bands)
+        self.config = config
+        self.record = record
+        self.on_record = on_record
+        self.stats = stats if stats is not None else SteadyStats()
+        self.cert: Optional[BandCertificate] = None
+        self.state = "detect"
+        self._seen: Dict[str, Tuple[int, tuple]] = {}
+        self.period = 0
+        self.target = -1
+        self.expected_digest: Optional[str] = None
+        self.expected_delta: Optional[tuple] = None
+        self.base_raw: Optional[tuple] = None
+        self.ready_at = -1
+        self._rec_period = 0
+        self._rec_digest: Optional[str] = None
+        self._rec_delta: Optional[tuple] = None
+        if self.B < MIN_BANDS:
+            self._disable("too-few-bands")
+
+    # -- lifecycle ------------------------------------------------------
+
+    def _disable(self, reason: str, demoted: bool = False) -> None:
+        if self.state == "disabled":
+            return
+        self.state = "disabled"
+        self.stats.disabled = reason
+        h = self.pipe.hierarchy
+        h.static_watch = None
+        h.static_watch_hits = 0
+        if demoted:
+            self.stats.demoted += 1
+
+    def force_disable(self, reason: str = "lockstep") -> None:
+        """Lockstep all-or-none demotion: drop an in-flight claim."""
+        if self.state in ("disabled", "engaged"):
+            return
+        self._disable(reason, demoted=self.state in ("verify", "ready"))
+
+    def _ensure_cert(self) -> bool:
+        if self.cert is not None:
+            return True
+        if self.state == "disabled":
+            return False
+        cert, reason = build_certificate(self.compiler, self.bands, self.config)
+        if cert is None:
+            self._disable(reason)
+            return False
+        self.cert = cert
+        if self.record is not None:
+            r = self.record
+            if (
+                r.get("d_lines") != cert.d_lines
+                or r.get("edge") != cert.edge
+                or r.get("align") != cert.align
+                or not self._decode_record(r)
+            ):
+                self.record = None  # stale record: fall back to live detection
+            else:
+                self.stats.record_mode = True
+        return True
+
+    def _decode_record(self, r: Dict) -> bool:
+        try:
+            p = int(r["period"])
+            digest = r["sig"]
+            core = tuple(int(x) for x in r["delta"]["core"])
+            ports = tuple((str(nm), int(n)) for nm, n in r["delta"]["ports"])
+        except (KeyError, TypeError, ValueError):
+            return False
+        if (
+            p <= 0
+            or p % self.cert.align
+            or len(core) != _N_RAW
+            or not isinstance(digest, str)
+            or not (core[0] == core[1] == core[2])
+        ):
+            return False
+        self._rec_period = p
+        self._rec_digest = digest
+        self._rec_delta = (core, ports)
+        return True
+
+    # -- per-boundary protocol ------------------------------------------
+
+    def observe_band(self, k: int) -> str:
+        """Advance the state machine at boundary ``k`` (bands completed)."""
+        if self.state in ("disabled", "engaged"):
+            return self.state
+        e = self.compiler.edge
+        if k < e + 1 or k > self.B - e:
+            return self.state
+        if not self._ensure_cert():
+            return self.state
+        cert = self.cert
+        if self.compiler.edge != cert.edge:
+            self._disable("edge-widened")
+            return self.state
+        if self.state == "ready":
+            return self.state
+        if self.state == "verify":
+            if k >= self.target:
+                self._finish_verify(k)
+            return self.state
+
+        # detect (or record scan)
+        if self.record is None and k > e + DETECT_ALIGN_WINDOW * cert.align + DETECT_SLACK:
+            self._disable("no-recurrence")
+            return self.state
+        sig = rebased_signature(self.pipe, cert.static_lines, k * cert.d_lines)
+        if sig is None:
+            return self.state  # a static line is still washing out of L2
+        digest = artifacts.signature_digest(sig)
+        raw = raw_counters(self.pipe)
+        if self.record is not None:
+            self.stats.record_probes += 1
+            if digest == self._rec_digest:
+                if self._has_room(k, self._rec_period):
+                    self._start_verify(k, self._rec_period, digest, self._rec_delta, raw)
+                else:
+                    self._disable("no-room")
+            return self.state
+        self.stats.detect_sigs += 1
+        prev = self._seen.get(digest)
+        if prev is None:
+            self._seen[digest] = (k, raw)
+            return self.state
+        k0, raw0 = prev
+        p = k - k0
+        if p % cert.align:
+            # Unaligned recurrences can be coincidental (uniform streaming
+            # makes L1 sets look alike); only set/page-preserving periods
+            # carry the shift-automorphism proof.  Keep the earlier entry.
+            return self.state
+        if not self._has_room(k, p):
+            self._disable("no-room")
+            return self.state
+        delta = raw_delta(raw, raw0)
+        if not (delta[0][0] == delta[0][1] == delta[0][2]):
+            self._seen[digest] = (k, raw)
+            return self.state
+        self._start_verify(k, p, digest, delta, raw)
+        return self.state
+
+    def _has_room(self, k: int, p: int) -> bool:
+        # The verify window occupies bands [k, k+p); at least one more full
+        # period must remain inside the interior to make the jump worthwhile.
+        last = self.B - self.compiler.edge
+        return k + p <= last and (last - k - p) >= p
+
+    def _start_verify(
+        self, k: int, p: int, digest: str, delta: tuple, raw: tuple
+    ) -> None:
+        self.period = p
+        self.target = k + p
+        self.expected_digest = digest
+        self.expected_delta = delta
+        self.base_raw = raw
+        h = self.pipe.hierarchy
+        h.static_watch = self.cert.static_lines
+        h.static_watch_hits = 0
+        self.stats.candidates += 1
+        self.state = "verify"
+
+    def _finish_verify(self, k: int) -> None:
+        cert = self.cert
+        h = self.pipe.hierarchy
+        ok = (
+            k == self.target
+            and h.static_watch_hits == 0
+            and self.compiler.edge == cert.edge
+        )
+        if ok:
+            sig = rebased_signature(self.pipe, cert.static_lines, k * cert.d_lines)
+            ok = sig is not None and artifacts.signature_digest(sig) == self.expected_digest
+        if ok:
+            ok = raw_delta(raw_counters(self.pipe), self.base_raw) == self.expected_delta
+        if not ok:
+            self._disable("verify-mismatch", demoted=True)
+            return
+        # Hold the window open: the watch stays armed so the engage point
+        # can be deferred (lockstep) with the zero-static-event proof intact
+        # — per-band behaviour is periodic from here for *any* later aligned
+        # start inside the interior, so deferral costs only live bands.
+        self.state = "ready"
+        self.ready_at = k
+        self.stats.verified += 1
+
+    # -- engagement -----------------------------------------------------
+
+    def max_engage_periods(self, k: int) -> int:
+        if self.state != "ready":
+            return 0
+        return (self.B - self.compiler.edge - k) // self.period
+
+    def engage(self, k: int, m: int) -> Optional[int]:
+        """Jump ``m`` periods from boundary ``k``; return the new boundary."""
+        if self.state != "ready" or m < 1:
+            return None
+        h = self.pipe.hierarchy
+        if h.static_watch_hits != 0 or self.compiler.edge != self.cert.edge:
+            self._disable("verify-mismatch", demoted=True)
+            return None
+        shift = m * self.period * self.cert.d_lines
+        apply_jump(self.pipe, self.cert.static_lines, shift, m, self.expected_delta)
+        self.state = "engaged"
+        h.static_watch = None
+        h.static_watch_hits = 0
+        self.stats.engaged += 1
+        self.stats.elided_bands += m * self.period
+        if self.on_record is not None and self.record is None:
+            core, ports = self.expected_delta
+            self.on_record(
+                {
+                    "sig": self.expected_digest,
+                    "period": self.period,
+                    "delta": {
+                        "core": list(core),
+                        "ports": [[nm, n] for nm, n in ports],
+                    },
+                    "d_lines": self.cert.d_lines,
+                    "edge": self.cert.edge,
+                    "align": self.cert.align,
+                }
+            )
+        return k + m * self.period
+
+    def after_band(self, k: int) -> Optional[int]:
+        """Solo driver: observe boundary ``k``, engage as soon as ready.
+
+        Returns the new boundary (bands completed) after a jump, else
+        ``None`` (continue with the next band).
+        """
+        self.observe_band(k)
+        if self.state != "ready":
+            return None
+        m = self.max_engage_periods(k)
+        if m < 1:
+            self._disable("no-room")
+            return None
+        return self.engage(k, m)

@@ -63,6 +63,19 @@ def default_timing() -> str:
     return os.environ.get("REPRO_TIMING", "columnar")
 
 
+#: Band-periodic steady-state elision on *full* (unsampled) runs: ``on``
+#: detects recurring machine state at band boundaries, verifies one extra
+#: period live, and applies the remaining interior bands arithmetically —
+#: bit-identical counters, any mismatch demotes to the plain band walk
+#: (:mod:`repro.machine.steady`).  Compiled engine only.
+STEADY_MODES = ("on", "off")
+
+
+def default_steady() -> str:
+    """Steady-elision mode when none is requested (``REPRO_STEADY`` overrides)."""
+    return os.environ.get("REPRO_STEADY", "on")
+
+
 def _add_scaled(base: PerfCounters, delta: PerfCounters, n: int) -> PerfCounters:
     """``base + n * delta``, exact on every counter field.
 
@@ -111,6 +124,7 @@ class TimingEngine:
         config: MachineConfig,
         engine: Optional[str] = None,
         timing: Optional[str] = None,
+        steady: Optional[str] = None,
         artifact_dir=None,
     ) -> None:
         self.config = config
@@ -134,6 +148,23 @@ class TimingEngine:
                 f"unknown timing {timing!r}; expected one of {TIMING_MODES}"
             )
         self.timing = timing
+        if steady is None:
+            steady = default_steady()
+        if steady not in STEADY_MODES:
+            raise ValueError(
+                f"unknown steady {steady!r}; expected one of {STEADY_MODES}"
+            )
+        self.steady = steady
+        #: In-process steady records keyed by bundle digest: a verified
+        #: ``(period, delta, signature)`` from any earlier run (or the
+        #: artifact store) lets later runs skip detection entirely and go
+        #: straight to the verification window.
+        self._steady_records: dict = {}
+        #: Per-run / per-lockstep-run controller accounting
+        #: (:class:`repro.machine.steady.SteadyStats`), refreshed by each
+        #: ``_run_full`` / ``run_lockstep`` call.
+        self.steady_stats = None
+        self.lockstep_steady_stats = None
         #: Engine-lifetime columnar state (lazily built): memory plans and
         #: scoreboard memo tables, shared by every columnar run this engine
         #: drives — successive runs, measured passes and multicore slice
@@ -152,7 +183,7 @@ class TimingEngine:
     # ------------------------------------------------------------------
 
     def _block_runner(
-        self, kernel: Kernel, pipe: PipelineModel, nest=None
+        self, kernel: Kernel, pipe: PipelineModel, nest=None, compiler=None
     ) -> Callable[[KernelBlock], None]:
         """Per-block processing function for the selected engine."""
         if self.engine != "compiled":
@@ -162,7 +193,8 @@ class TimingEngine:
         from repro.machine.memo import TimingMemo, memo_enabled
 
         config = self.config
-        compiler = TraceCompiler(kernel, nest=nest, config=config)
+        if compiler is None:
+            compiler = TraceCompiler(kernel, nest=nest, config=config)
         memo = TimingMemo(config) if memo_enabled() else None
 
         def run_block(block: KernelBlock) -> None:
@@ -220,50 +252,120 @@ class TimingEngine:
             counters = self._run_full(kernel, nest, warm=warm, iters=iters)
         else:
             if iters != 1:
-                raise ValueError("iters is only supported for full (unsampled) runs")
+                raise ValueError(
+                    "iters is only supported for full (unsampled) runs; pass "
+                    "sample=False (or --no-sample) to simulate every pass exactly"
+                )
             counters = self._run_sampled(kernel, nest, plan or SamplePlan())
         counters.label = label or kernel.name
         return counters
 
     # ------------------------------------------------------------------
 
-    def _run_full(self, kernel: Kernel, nest, warm: bool, iters: int = 1) -> PerfCounters:
-        pipe = PipelineModel(self.config)
+    def _band_machinery(self, kernel: Kernel, pipe: PipelineModel, nest):
+        """``(run_band, compiler)`` for a banded full-grid replay.
 
+        The compiler (compiled engine only) is built here and shared with
+        the replayer / block runner so the steady-state controller sees the
+        same template classes the replay resolves.
+        """
+        compiler = None
         use_columnar = False
-        if self.engine == "compiled" and self.timing == "columnar":
+        if self.engine == "compiled":
+            from repro.kernels.template import TraceCompiler
             from repro.machine.memo import memo_enabled
 
+            compiler = TraceCompiler(kernel, nest=nest, config=self.config)
             # Columnar replay vectorizes the first pass the same way it
             # vectorizes sampled bands; the block-level REPRO_MEMO modes
             # keep the scalar memoized walk (their exact-key replay already
             # collapses warm passes, and the diagnostic value of running
             # them lies in exercising that layer).
-            use_columnar = not memo_enabled()
+            use_columnar = self.timing == "columnar" and not memo_enabled()
 
         if use_columnar:
             from repro.machine.columnar import ColumnarReplayer
 
-            replayer = ColumnarReplayer(
-                kernel, self.config, pipe, nest=nest, share=self._columnar_share()
-            )
-            # bands() lists blocks grouped by outer index in iteration
-            # order, so driving band-at-a-time preserves the exact block
-            # sequence of the scalar loop below.
-            bands = nest.bands()
-
-            def one_pass() -> None:
-                pipe.process_trace(kernel.preamble())
-                for band in bands:
-                    replayer.process_band(band)
-
+            run_band = ColumnarReplayer(
+                kernel,
+                self.config,
+                pipe,
+                nest=nest,
+                compiler=compiler,
+                share=self._columnar_share(),
+            ).process_band
         else:
-            run_block = self._block_runner(kernel, pipe, nest=nest)
+            run_block = self._block_runner(kernel, pipe, nest=nest, compiler=compiler)
 
-            def one_pass() -> None:
-                pipe.process_trace(kernel.preamble())
-                for block in nest:
+            def run_band(band) -> None:
+                for block in band:
                     run_block(block)
+
+        return run_band, compiler
+
+    def _steady_controller(self, pipe: PipelineModel, compiler, bands, stats):
+        """Build one pass's steady controller, wired to the record caches."""
+        from repro.machine import steady as steady_mod
+        from repro.machine.artifacts import active_store
+
+        key = steady_mod.steady_record_key(compiler)
+        record = None
+        if key is not None:
+            record = self._steady_records.get(key)
+            if record is None:
+                store = active_store()
+                if store is not None:
+                    record = store.load("steady", key)
+                    if record is not None:
+                        self._steady_records[key] = record
+
+        def on_record(rec) -> None:
+            if key is None:
+                return
+            self._steady_records[key] = rec
+            store = active_store()
+            if store is not None:
+                store.store("steady", key, rec)
+
+        return steady_mod.SteadyController(
+            pipe,
+            compiler,
+            bands,
+            self.config,
+            record=record,
+            on_record=on_record,
+            stats=stats,
+        )
+
+    def _run_full(self, kernel: Kernel, nest, warm: bool, iters: int = 1) -> PerfCounters:
+        from repro.machine.steady import SteadyStats
+
+        pipe = PipelineModel(self.config)
+        # bands() lists blocks grouped by outer index in iteration order, so
+        # driving band-at-a-time preserves the exact block sequence of the
+        # flat block loop.
+        bands = nest.bands()
+        run_band, compiler = self._band_machinery(kernel, pipe, nest)
+        stats = SteadyStats()
+        self.steady_stats = stats
+        use_steady = self.steady == "on" and compiler is not None
+
+        def one_pass() -> None:
+            pipe.process_trace(kernel.preamble())
+            controller = (
+                self._steady_controller(pipe, compiler, bands, stats)
+                if use_steady
+                else None
+            )
+            k = 0
+            nbands = len(bands)
+            while k < nbands:
+                run_band(bands[k])
+                k += 1
+                if controller is not None:
+                    nk = controller.after_band(k)
+                    if nk is not None:
+                        k = nk
 
         if warm:
             one_pass()
@@ -284,7 +386,7 @@ class TimingEngine:
 
             use_skip = pass_memo_enabled()
 
-        prev_sig = pipe.state_signature() if use_skip else None
+        prev_sig = pipe.state_digest() if use_skip else None
         prev_snap = before if before is not None else pipe.snapshot()
         counters: Optional[PerfCounters] = None
         strikes = 0
@@ -292,7 +394,7 @@ class TimingEngine:
             one_pass()
             if not use_skip:
                 continue
-            sig = pipe.state_signature()
+            sig = pipe.state_digest()
             if sig == prev_sig:
                 # The pass just run mapped the state onto itself: every
                 # remaining pass repeats its delta exactly.
@@ -317,6 +419,118 @@ class TimingEngine:
             counters = PipelineModel.delta(counters, before)
         counters.points = nest.total_points() * iters
         return counters
+
+    def run_lockstep(
+        self, kernels, *, warm: bool = True
+    ) -> "list[PerfCounters]":
+        """Time several kernels band-locked (multicore slice contract).
+
+        Every kernel gets its own pipeline; all cores advance one outer-loop
+        band per step.  Steady-state elision only engages when *every*
+        still-running core's controller is ready with the *same* period at
+        the same boundary — the jump is then the largest common multiple of
+        that period fitting every core's interior.  If any core demotes (or
+        cannot certify) while others hold a claim, elision is abandoned on
+        all cores, so the cores' counters stay bit-identical to running each
+        kernel alone with ``run(sample=False)``.
+        """
+        from repro.machine.steady import SteadyStats
+
+        cores = []
+        for kernel in kernels:
+            pipe = PipelineModel(self.config)
+            nest = kernel.loop_nest()
+            run_band, compiler = self._band_machinery(kernel, pipe, nest)
+            cores.append((kernel, pipe, nest, nest.bands(), run_band, compiler))
+
+        stats_list = [SteadyStats() for _ in kernels]
+        self.lockstep_steady_stats = stats_list
+        use_steady = self.steady == "on" and self.engine == "compiled"
+
+        def one_pass() -> None:
+            controllers = []
+            for (kernel, pipe, _nest, bands, _rb, compiler), stats in zip(
+                cores, stats_list
+            ):
+                pipe.process_trace(kernel.preamble())
+                ctrl = None
+                if use_steady and compiler is not None:
+                    ctrl = self._steady_controller(pipe, compiler, bands, stats)
+                controllers.append(ctrl)
+            lock_dead = not use_steady or any(c is None for c in controllers)
+            if lock_dead:
+                for c in controllers:
+                    if c is not None:
+                        c.force_disable("lockstep")
+            k = 0
+            max_bands = max((len(c[3]) for c in cores), default=0)
+            while k < max_bands:
+                active = [i for i, c in enumerate(cores) if k < len(c[3])]
+                for i in active:
+                    cores[i][4](cores[i][3][k])
+                k += 1
+                if lock_dead:
+                    continue
+                # Cores that already finished drop out of the lockstep
+                # quorum; the remaining ones must agree unanimously.
+                live = [i for i, c in enumerate(cores) if k < len(c[3])]
+                states = [controllers[i].observe_band(k) for i in live]
+                if not live:
+                    continue
+                if any(s == "disabled" for s in states):
+                    if not all(s == "disabled" for s in states):
+                        for i in live:
+                            controllers[i].force_disable("lockstep")
+                    lock_dead = True
+                    continue
+                if not all(s == "ready" for s in states):
+                    continue
+                periods = {controllers[i].period for i in live}
+                if len(periods) != 1:
+                    for i in live:
+                        controllers[i].force_disable("lockstep")
+                    lock_dead = True
+                    continue
+                p = periods.pop()
+                m = min(controllers[i].max_engage_periods(k) for i in live)
+                if m < 1:
+                    continue  # ready persists; a core may finish and free room
+                # The engage must be atomic across cores: re-check every
+                # core's claim (late static-watch events, edge widening)
+                # *before* any core's state jumps, so a failed claim demotes
+                # the whole group without desynchronizing the shared index.
+                claims_ok = all(
+                    controllers[i].pipe.hierarchy.static_watch_hits == 0
+                    and controllers[i].compiler.edge == controllers[i].cert.edge
+                    for i in live
+                )
+                if not claims_ok:
+                    for i in live:
+                        controllers[i].force_disable("lockstep")
+                    lock_dead = True
+                    continue
+                for i in live:
+                    if controllers[i].engage(k, m) is None:
+                        # Unreachable after the pre-checks (engage re-checks
+                        # the same conditions); never desync the shared index.
+                        raise RuntimeError("lockstep engage desynchronized")
+                k += m * p
+
+        if warm:
+            one_pass()
+            befores = [pipe.snapshot() for _k, pipe, *_ in cores]
+        else:
+            befores = [None] * len(cores)
+        one_pass()
+        out = []
+        for (kernel, pipe, nest, *_), before in zip(cores, befores):
+            counters = pipe.snapshot()
+            if before is not None:
+                counters = PipelineModel.delta(counters, before)
+            counters.points = nest.total_points()
+            counters.label = kernel.name
+            out.append(counters)
+        return out
 
     def _run_sampled(self, kernel: Kernel, nest, plan: SamplePlan) -> PerfCounters:
         pipe = PipelineModel(self.config)

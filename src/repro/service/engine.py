@@ -90,6 +90,8 @@ def _runner_for(profile: Dict):
             cache_dir=profile["cache_dir"],
             engine=profile["engine"],
             timing=profile["timing"],
+            steady=profile.get("steady"),
+            sample=profile.get("sample"),
             artifact_dir=profile["artifact_dir"],
         )
         _RUNNERS[profile["key"]] = runner
@@ -264,6 +266,8 @@ class StencilService:
         artifact_dir=None,
         engine: Optional[str] = None,
         timing: Optional[str] = None,
+        steady: Optional[str] = None,
+        sample: Optional[bool] = None,
         weights: Optional[Dict[str, int]] = None,
         max_pending: Optional[Dict[str, int]] = None,
         result_cache: int = 4096,
@@ -273,6 +277,8 @@ class StencilService:
         self.artifact_dir = artifact_dir
         self.engine = engine
         self.timing = timing
+        self.steady = steady
+        self.sample = sample
         self.queue = LaneQueue(weights=weights, max_pending=max_pending)
         self.counters: Dict[str, int] = {
             "jobs": 0,
@@ -377,6 +383,8 @@ class StencilService:
                 "cache_dir": str(self.cache_dir) if self.cache_dir else None,
                 "engine": self.engine,
                 "timing": self.timing,
+                "steady": self.steady,
+                "sample": self.sample,
                 "artifact_dir": str(self.artifact_dir) if self.artifact_dir else None,
             }
         )[:16]
@@ -389,6 +397,8 @@ class StencilService:
                 "cache_dir": self.cache_dir,
                 "engine": self.engine,
                 "timing": self.timing,
+                "steady": self.steady,
+                "sample": self.sample,
                 "artifact_dir": self.artifact_dir,
             }
             self._profiles[key] = profile
@@ -400,7 +410,7 @@ class StencilService:
         method, stencil, shape = cell
         digest, _ = cache_key(
             machine, method, stencil, tuple(shape), options, plan, warm,
-            iters=iters, timing=self.timing,
+            iters=iters, timing=self.timing, sample=self.sample, steady=self.steady,
         )
         return (action, digest)
 
