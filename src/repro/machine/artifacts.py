@@ -246,13 +246,29 @@ def decode_trace(payload: Sequence) -> Optional[List[Instruction]]:
 # -- directory scan / prune helpers (shared with the measurement cache) ------
 
 
+def _kind_of(root: Path, path: Path) -> str:
+    """Artifact kind of an entry: its first path component under ``root``.
+
+    The measurement cache stores its entries flat, so files directly under
+    the root report as kind ``"."``.
+    """
+    rel = path.relative_to(root)
+    return rel.parts[0] if len(rel.parts) > 1 else "."
+
+
 def scan_tree(root) -> Dict:
-    """Entry count / byte size / age span of a ``*.json`` artifact tree."""
+    """Entry count / byte size / age span of a ``*.json`` artifact tree.
+
+    The aggregate keys are kept for existing consumers; ``kinds`` breaks
+    entry counts and byte sizes down per artifact kind (``timing``,
+    ``functional``, ``templates``, ``codegen``, ``steady``, ...).
+    """
     root = Path(root)
     entries = 0
     total_bytes = 0
     oldest: Optional[float] = None
     newest: Optional[float] = None
+    kinds: Dict[str, Dict[str, int]] = {}
     for path in root.rglob("*.json"):
         try:
             stat = path.stat()
@@ -262,11 +278,15 @@ def scan_tree(root) -> Dict:
         total_bytes += stat.st_size
         oldest = stat.st_mtime if oldest is None else min(oldest, stat.st_mtime)
         newest = stat.st_mtime if newest is None else max(newest, stat.st_mtime)
+        bucket = kinds.setdefault(_kind_of(root, path), {"entries": 0, "bytes": 0})
+        bucket["entries"] += 1
+        bucket["bytes"] += stat.st_size
     now = time.time()
     return {
         "root": str(root),
         "entries": entries,
         "bytes": total_bytes,
+        "kinds": {kind: kinds[kind] for kind in sorted(kinds)},
         "oldest_age_days": (now - oldest) / 86400.0 if oldest is not None else None,
         "newest_age_days": (now - newest) / 86400.0 if newest is not None else None,
     }
@@ -274,7 +294,11 @@ def scan_tree(root) -> Dict:
 
 def prune_tree(root, max_age_days: Optional[float] = None,
                max_bytes: Optional[int] = None) -> Dict:
-    """Delete ``*.json`` entries by age and/or total size (oldest first)."""
+    """Delete ``*.json`` entries by age and/or total size (oldest first).
+
+    Aggregate keys are kept for existing consumers; ``kinds`` reports the
+    per-kind removed/kept breakdown.
+    """
     root = Path(root)
     files: List[Tuple[float, int, Path]] = []
     for path in root.rglob("*.json"):
@@ -287,6 +311,13 @@ def prune_tree(root, max_age_days: Optional[float] = None,
     now = time.time()
     removed = 0
     removed_bytes = 0
+    kinds: Dict[str, Dict[str, int]] = {}
+
+    def bucket_for(path: Path) -> Dict[str, int]:
+        return kinds.setdefault(
+            _kind_of(root, path), {"removed": 0, "removed_bytes": 0, "kept": 0}
+        )
+
     keep: List[Tuple[float, int, Path]] = []
     for mtime, size, path in files:
         if max_age_days is not None and (now - mtime) > max_age_days * 86400.0:
@@ -296,6 +327,9 @@ def prune_tree(root, max_age_days: Optional[float] = None,
                 continue
             removed += 1
             removed_bytes += size
+            bucket = bucket_for(path)
+            bucket["removed"] += 1
+            bucket["removed_bytes"] += size
         else:
             keep.append((mtime, size, path))
     if max_bytes is not None:
@@ -311,11 +345,18 @@ def prune_tree(root, max_age_days: Optional[float] = None,
             removed += 1
             removed_bytes += size
             total -= size
+            bucket = bucket_for(path)
+            bucket["removed"] += 1
+            bucket["removed_bytes"] += size
+        keep = keep[idx:]
+    for _mtime, _size, path in keep:
+        bucket_for(path)["kept"] += 1
     return {
         "root": str(root),
         "removed": removed,
         "removed_bytes": removed_bytes,
         "kept": len(files) - removed,
+        "kinds": {kind: kinds[kind] for kind in sorted(kinds)},
     }
 
 

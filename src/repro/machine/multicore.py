@@ -88,6 +88,7 @@ class MulticoreModel:
         engine: Optional[str] = None,
         timing: Optional[str] = None,
         steady: Optional[str] = None,
+        codegen: Optional[str] = None,
         timing_engine: Optional[TimingEngine] = None,
         artifact_dir=None,
     ) -> None:
@@ -102,6 +103,7 @@ class MulticoreModel:
                 engine=engine,
                 timing=timing,
                 steady=steady,
+                codegen=codegen,
                 artifact_dir=artifact_dir,
             )
 

@@ -32,6 +32,7 @@ from repro.machine.artifacts import (
     encode_trace,
     install_artifact_store,
 )
+from repro.machine.codegen import codegen_stats, reset_codegen_stats
 from repro.machine.compiled import (
     ProgramPool,
     clear_program_pool,
@@ -54,10 +55,12 @@ def _isolated_store(monkeypatch):
     install_artifact_store(None)
     clear_program_pool(reset_stats=True)
     reset_compile_stats()
+    reset_codegen_stats()
     yield
     install_artifact_store(None)
     clear_program_pool(reset_stats=True)
     reset_compile_stats()
+    reset_codegen_stats()
 
 
 def _build(method, machine_name, stencil="star2d9p", rows=32, cols=32):
@@ -251,6 +254,161 @@ def test_program_pool_counters(tmp_path):
     assert warm["store_hits"] == cold["builds"]
 
 
+# -- codegen artifacts --------------------------------------------------------
+
+
+def _scalar_timing_run(
+    method, machine_name, store_dir, codegen="on", sample=True, **build_kw
+):
+    """Like :func:`_timing_run` but through the scalar replay path, which
+    dispatches per-block through ``process_template`` — the path that
+    generates (and persists) exec-compiled codegen kernels.  ``sample=False``
+    runs the full grid, touching every shape class."""
+    from repro.machine.timing import SamplePlan
+
+    install_artifact_store(str(store_dir) if store_dir is not None else None)
+    clear_program_pool(reset_stats=True)
+    reset_compile_stats()
+    reset_codegen_stats()
+    built = _build(method, machine_name, **build_kw)
+    if built is None:
+        return None
+    kernel, config, _, _ = built
+    plan = SamplePlan(warmup_bands=1, min_measure_points=600) if sample else None
+    engine = TimingEngine(config, engine="compiled", timing="scalar", codegen=codegen)
+    return engine.run(kernel, sample=sample, plan=plan, warm=True).to_dict()
+
+
+def test_codegen_round_trip_bit_identical(tmp_path):
+    """Cold run persists codegen kernels; a warm process loads every one."""
+    live = _scalar_timing_run("hstencil", "LX2", None)
+    cold = _scalar_timing_run("hstencil", "LX2", tmp_path)
+    cold_stats = codegen_stats()
+    warm = _scalar_timing_run("hstencil", "LX2", tmp_path)
+    warm_stats = codegen_stats()
+    assert cold == live and warm == live
+    assert cold_stats["generated"] >= 1
+    assert cold_stats["store_writes"] == cold_stats["generated"]
+    assert warm_stats["generated"] == 0
+    assert warm_stats["loaded"] == cold_stats["generated"]
+    assert warm_stats["demoted"] == 0
+    kinds = ArtifactStore(tmp_path).disk_stats()["kinds"]
+    assert kinds["codegen"]["entries"] == cold_stats["generated"]
+    assert kinds["codegen"]["bytes"] > 0
+
+
+def test_concurrent_cold_generation_races_cleanly(tmp_path):
+    """Two processes generating the same classes on a cold store both
+    succeed via the atomic-write path, with exactly one entry per class."""
+    import subprocess
+    import sys
+
+    store = tmp_path / "store"
+    script = (
+        "import sys, json; sys.path.insert(0, sys.argv[1])\n"
+        "from repro.machine.artifacts import install_artifact_store\n"
+        "install_artifact_store(sys.argv[2])\n"
+        "from repro.kernels.base import KernelOptions\n"
+        "from repro.kernels.registry import make_kernel\n"
+        "from repro.machine.config import LX2\n"
+        "from repro.machine.memory import MemorySpace\n"
+        "from repro.machine.timing import SamplePlan, TimingEngine\n"
+        "from repro.stencils.grid import Grid2D\n"
+        "from repro.stencils.library import benchmark\n"
+        "spec = benchmark('star2d9p'); config = LX2(); mem = MemorySpace()\n"
+        "src = Grid2D(mem, 33, 48, spec.radius, 'A', fill='random', seed=13)\n"
+        "dst = Grid2D(mem, 33, 48, spec.radius, 'B')\n"
+        "kernel = make_kernel('hstencil', spec, src, dst, config, KernelOptions(unroll_j=2))\n"
+        "engine = TimingEngine(config, engine='compiled', timing='scalar', codegen='on')\n"
+        "pc = engine.run(kernel, sample=True, plan=SamplePlan(warmup_bands=1, min_measure_points=600))\n"
+        "print(json.dumps(pc.to_dict(), sort_keys=True))\n"
+    )
+    src_dir = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+    env = {k: v for k, v in os.environ.items() if k != "REPRO_ARTIFACTS"}
+    procs = [
+        subprocess.Popen(
+            [sys.executable, "-c", script, src_dir, str(store)],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            env=env,
+        )
+        for _ in range(2)
+    ]
+    outs = [p.communicate(timeout=600) for p in procs]
+    for proc, (out, err) in zip(procs, outs):
+        assert proc.returncode == 0, err.decode()
+    # Both raced processes measured bit-identical counters.
+    assert outs[0][0] == outs[1][0]
+    # The store holds exactly one entry per class digest (atomic replace,
+    # content-addressed paths), every entry parses, and no temp files leak.
+    files = _artifact_files(store / "codegen")
+    assert files
+    digests = [os.path.splitext(os.path.basename(p))[0] for p in files]
+    assert len(digests) == len(set(digests))
+    for path in files:
+        with open(path) as fh:
+            json.load(fh)
+    leftovers = [
+        os.path.join(d, f)
+        for d, _dirs, fs in os.walk(store)
+        for f in fs
+        if not f.endswith(".json")
+    ]
+    assert leftovers == []
+    # A warm process after the race loads everything: zero live generations.
+    warm = _scalar_timing_run("hstencil", "LX2", store, rows=33, cols=48)
+    stats = codegen_stats()
+    assert warm == json.loads(outs[0][0])
+    assert stats["generated"] == 0 and stats["loaded"] == len(files)
+
+
+def test_tampered_codegen_source_demotes_only_that_class(tmp_path):
+    """A corrupt stored source blob demotes its class on load without
+    poisoning other classes or the measurement cache."""
+    from repro.bench.cache import MeasurementCache
+
+    live = _scalar_timing_run(
+        "hstencil", "LX2", tmp_path, sample=False, rows=33, cols=48
+    )
+    cold_stats = codegen_stats()
+    total = cold_stats["generated"]
+    assert total >= 2
+    victim = _artifact_files(tmp_path / "codegen")[0]
+    with open(victim) as fh:
+        blob = json.load(fh)
+    blob["data"]["source"] += "\npipe.flops += 1\n"
+    with open(victim, "w") as fh:
+        json.dump(blob, fh)
+    rebuilt = _scalar_timing_run(
+        "hstencil", "LX2", tmp_path, sample=False, rows=33, cols=48
+    )
+    stats = codegen_stats()
+    assert rebuilt == live  # the demoted class replays interpreted
+    assert stats["demoted"] == 1
+    assert stats["loaded"] == total - 1
+    # The measurement cache records only bit-identical counters afterwards.
+    from repro.bench.runner import ExperimentRunner
+
+    clear_program_pool(reset_stats=True)
+    cache_dir = tmp_path / "meas"
+    runner = ExperimentRunner(
+        LX2(),
+        KernelOptions(unroll_j=2),
+        cache_dir=str(cache_dir),
+        timing="scalar",
+        artifact_dir=str(tmp_path),
+    )
+    from repro.machine.timing import SamplePlan
+
+    plan = SamplePlan(warmup_bands=1, min_measure_points=600)
+    cell = runner.measure("hstencil", "star2d9p", (32, 32), plan=plan)
+    entries = [p for p in _artifact_files(cache_dir)]
+    assert entries
+    with open(entries[0]) as fh:
+        cached = json.load(fh)
+    assert cached["counters"] == cell.counters.to_dict()
+
+
 # -- store maintenance -------------------------------------------------------
 
 
@@ -259,6 +417,9 @@ def test_store_prune_by_age_and_size(tmp_path):
     store = ArtifactStore(tmp_path)
     scan = store.disk_stats()
     assert scan["entries"] >= 2 and scan["bytes"] > 0
+    # Per-kind breakdown covers every entry and sums to the aggregate.
+    assert sum(k["entries"] for k in scan["kinds"].values()) == scan["entries"]
+    assert sum(k["bytes"] for k in scan["kinds"].values()) == scan["bytes"]
     # Age one file far into the past; an age prune removes exactly it.
     victim = _artifact_files(tmp_path)[0]
     old = time.time() - 10 * 86400
@@ -266,9 +427,12 @@ def test_store_prune_by_age_and_size(tmp_path):
     pruned = store.prune(max_age_days=5)
     assert pruned["removed"] == 1
     assert not os.path.exists(victim)
+    assert sum(k["removed"] for k in pruned["kinds"].values()) == 1
+    assert sum(k["kept"] for k in pruned["kinds"].values()) == pruned["kept"]
     # A zero-byte budget clears the rest, oldest first.
     pruned = store.prune(max_bytes=0)
     assert pruned["kept"] == 0
+    assert all(k["kept"] == 0 for k in pruned["kinds"].values())
     assert store.disk_stats()["entries"] == 0
 
 
@@ -337,11 +501,16 @@ def test_cli_precompile_and_cache(tmp_path, capsys):
     payload = json.loads(capsys.readouterr().out)
     assert rc == 0
     assert payload["artifacts"]["entries"] >= 2
+    # Per-kind reporting enumerates the codegen kind alongside the others.
+    kinds = payload["artifacts"]["kinds"]
+    assert kinds["codegen"]["entries"] >= 1 and kinds["codegen"]["bytes"] > 0
+    assert "timing" in kinds and "templates" in kinds
 
     rc = main(["cache", "prune", "--artifact-dir", store_dir, "--max-bytes", "0"])
     payload = json.loads(capsys.readouterr().out)
     assert rc == 0
     assert payload["artifacts"]["kept"] == 0
+    assert payload["artifacts"]["kinds"]["codegen"]["removed"] >= 1
     assert ArtifactStore(store_dir).disk_stats()["entries"] == 0
 
 
